@@ -1,0 +1,1 @@
+bin/sycl_bench.ml: Arg Cmd Cmdliner Common Format List Mlir Printf Suite Sycl_core Sycl_runtime Sycl_sim Sycl_workloads Term

@@ -1,0 +1,1 @@
+bin/sycl_bench.mli:

@@ -1,0 +1,1 @@
+bin/sycl_mlir_opt.ml: Arg Cmd Cmdliner Dialects Format In_channel List Mlir Printf Sycl_core Term

@@ -1,0 +1,1 @@
+bin/sycl_mlir_opt.mli:

@@ -1,0 +1,121 @@
+(* sycl-bench: run one reproduction workload under a chosen compiler
+   configuration, print the simulated cost breakdown and validation —
+   the reproduction's counterpart to the SYCL-Bench runner script.
+
+     dune exec bin/sycl_bench.exe -- --list
+     dune exec bin/sycl_bench.exe -- --benchmark GEMM --mode sycl-mlir
+     dune exec bin/sycl_bench.exe -- --benchmark GEMM --compare --no-internalization *)
+
+open Cmdliner
+open Sycl_workloads
+module Driver = Sycl_core.Driver
+
+let list_workloads () =
+  List.iter
+    (fun (w : Common.workload) ->
+      Printf.printf "%-26s %-14s size=%d (paper size %d)%s\n" w.Common.w_name
+        (Common.category_to_string w.Common.w_category)
+        w.Common.w_problem_size w.Common.w_paper_size
+        (if w.Common.w_acpp_ok then "" else "  [AdaptiveCpp fails validation]"))
+    (Suite.all () @ Suite.extensions ())
+
+let mode_of_string = function
+  | "dpcpp" -> Ok Driver.Dpcpp
+  | "sycl-mlir" -> Ok Driver.Sycl_mlir
+  | "acpp" | "adaptivecpp" -> Ok Driver.Adaptive_cpp
+  | s -> Error (`Msg ("unknown mode " ^ s ^ " (dpcpp|sycl-mlir|acpp)"))
+
+let report (w : Common.workload) (m : Common.measurement) =
+  let r = m.Common.m_result in
+  Printf.printf "%s under %s\n" w.Common.w_name (Driver.mode_to_string m.Common.m_mode);
+  Printf.printf "  validation: %s\n" (if m.Common.m_valid then "PASSED" else "FAILED");
+  Printf.printf "  total cycles: %d\n" m.Common.m_cycles;
+  Printf.printf "    device:          %d\n" r.Sycl_runtime.Host_interp.device_cycles;
+  Printf.printf "    launch overhead: %d (%d launches)\n"
+    r.Sycl_runtime.Host_interp.launch_overhead_cycles
+    r.Sycl_runtime.Host_interp.kernel_launches;
+  Printf.printf "    transfers:       %d\n" r.Sycl_runtime.Host_interp.transfer_cycles;
+  Printf.printf "    scheduler:       %d (%d dependency edges)\n"
+    r.Sycl_runtime.Host_interp.scheduler_cycles
+    r.Sycl_runtime.Host_interp.dependency_edges;
+  List.iter
+    (fun (name, s) ->
+      Format.printf "  kernel %-18s %a@." name Sycl_sim.Cost.pp_launch_stats s)
+    r.Sycl_runtime.Host_interp.per_kernel;
+  if Mlir.Pass.Stats.to_list m.Common.m_stats <> [] then begin
+    Printf.printf "  compile-time statistics:\n";
+    Format.printf "%a@?" Mlir.Pass.Stats.pp m.Common.m_stats
+  end
+
+let run list_flag bench mode compare no_licm no_reduction no_internalization
+    no_hostdev fusion =
+  if list_flag then (list_workloads (); exit 0);
+  match bench with
+  | None ->
+    prerr_endline "missing --benchmark (or use --list)";
+    exit 2
+  | Some name -> (
+    match Suite.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %s (try --list)\n" name;
+      exit 2
+    | Some w ->
+      let config mode =
+        Driver.config ~enable_licm:(not no_licm)
+          ~enable_reduction:(not no_reduction)
+          ~enable_internalization:(not no_internalization)
+          ~enable_host_device:(not no_hostdev)
+          ~enable_alias_refinement:(not no_hostdev) ~enable_fusion:fusion mode
+      in
+      if compare then begin
+        let base = Common.measure (config Driver.Dpcpp) w in
+        report w base;
+        print_newline ();
+        let opt = Common.measure (config Driver.Sycl_mlir) w in
+        report w opt;
+        Printf.printf "\nspeedup SYCL-MLIR over DPC++: %.2fx\n"
+          (Common.speedup base opt);
+        (match Common.measure (config Driver.Adaptive_cpp) w with
+        | acpp when acpp.Common.m_valid ->
+          Printf.printf "speedup AdaptiveCpp over DPC++: %.2fx\n"
+            (Common.speedup base acpp)
+        | _ -> print_endline "AdaptiveCpp: failed validation"
+        | exception Common.Unsupported _ ->
+          print_endline "AdaptiveCpp: unsupported (modeled validation failure)")
+      end
+      else
+        let m = Common.measure (config mode) w in
+        report w m;
+        if not m.Common.m_valid then exit 1)
+
+let list_arg = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List workloads.")
+
+let bench_arg =
+  Arg.(value & opt (some string) None
+       & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc:"Workload to run.")
+
+let mode_conv =
+  Arg.conv
+    ( mode_of_string,
+      fun fmt m -> Format.pp_print_string fmt (Driver.mode_to_string m) )
+
+let mode_arg =
+  Arg.(value & opt mode_conv Driver.Sycl_mlir
+       & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"dpcpp, sycl-mlir or acpp.")
+
+let compare_arg =
+  Arg.(value & flag & info [ "compare" ] ~doc:"Run all three configurations and report speedups.")
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let cmd =
+  let doc = "run a SYCL-Bench reproduction workload on the simulated device" in
+  Cmd.v (Cmd.info "sycl-bench" ~doc)
+    Term.(const run $ list_arg $ bench_arg $ mode_arg $ compare_arg
+          $ flag "no-licm" "Disable LICM."
+          $ flag "no-reduction" "Disable reduction detection."
+          $ flag "no-internalization" "Disable loop internalization."
+          $ flag "no-host-device" "Disable host-device propagation."
+          $ flag "fusion" "Enable compile-time kernel fusion.")
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,102 @@
+(* sycl-mlir-opt: the project's mlir-opt equivalent. Reads a module in the
+   textual generic form, runs a named pass pipeline, prints the result.
+
+     sycl-mlir-opt --passes canonicalize,cse,licm,detect-reduction foo.mlir
+     echo '...' | sycl-mlir-opt --passes sycl-mlir  (full pipeline) *)
+
+open Cmdliner
+module Driver = Sycl_core.Driver
+
+let pass_of_name = function
+  | "canonicalize" -> Some Sycl_core.Canonicalize.pass
+  | "cse" -> Some Sycl_core.Cse.pass
+  | "dce" -> Some Sycl_core.Dce.pass
+  | "inline" -> Some Sycl_core.Inline.pass
+  | "loop-unroll" -> Some Sycl_core.Loop_unroll.pass
+  | "licm" -> Some Sycl_core.Licm.pass
+  | "detect-reduction" -> Some Sycl_core.Detect_reduction.pass
+  | "loop-internalization" -> Some Sycl_core.Loop_internalization.pass
+  | "host-raising" -> Some Sycl_core.Host_raising.pass
+  | "host-device-propagation" -> Some (Sycl_core.Host_device_prop.pass ())
+  | "dead-argument-elimination" -> Some Sycl_core.Dead_arg_elim.pass
+  | "kernel-fusion" -> Some Sycl_core.Kernel_fusion.pass
+  | "store-forwarding" -> Some Sycl_core.Store_forwarding.pass
+  | "barrier-safety" -> Some Sycl_core.Barrier_safety.pass
+  | "lower-sycl" -> Some Sycl_core.Lower_sycl.pass
+  | "raise-affine" -> Some Sycl_core.Raise_affine.pass
+  | _ -> None
+
+let known_passes =
+  "canonicalize, cse, dce, inline, loop-unroll, licm, detect-reduction, \
+   loop-internalization, host-raising, host-device-propagation, \
+   dead-argument-elimination, kernel-fusion, store-forwarding, \
+   barrier-safety, lower-sycl, raise-affine, and the pipeline aliases sycl-mlir / dpcpp"
+
+let resolve_pipeline names =
+  List.concat_map
+    (fun name ->
+      match name with
+      | "sycl-mlir" ->
+        Driver.host_pipeline (Driver.config Driver.Sycl_mlir)
+        @ Driver.device_pipeline (Driver.config Driver.Sycl_mlir)
+      | "dpcpp" ->
+        Driver.host_pipeline (Driver.config Driver.Dpcpp)
+        @ Driver.device_pipeline (Driver.config Driver.Dpcpp)
+      | name -> (
+        match pass_of_name name with
+        | Some p -> [ p ]
+        | None ->
+          Printf.eprintf "unknown pass %s; known: %s\n" name known_passes;
+          exit 2))
+    names
+
+let read_input = function
+  | None | Some "-" -> In_channel.input_all stdin
+  | Some path -> In_channel.with_open_text path In_channel.input_all
+
+let run passes verify stats input =
+  Dialects.Register.init ();
+  Sycl_core.Sycl_ops.init ();
+  Sycl_core.Sycl_host_ops.init ();
+  Sycl_core.Licm.init ();
+  let src = read_input input in
+  match Mlir.Parser.parse_module src with
+  | exception Mlir.Parser.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+  | m -> (
+    let pipeline = resolve_pipeline passes in
+    match Mlir.Pass.run_pipeline ~verify_each:verify pipeline m with
+    | result ->
+      Mlir.Printer.print m;
+      if stats then begin
+        Printf.eprintf "// pass statistics:\n";
+        Format.eprintf "%a@?" Mlir.Pass.Stats.pp (Mlir.Pass.merged_stats result)
+      end
+    | exception Mlir.Pass.Pass_failed { pass; diagnostics } ->
+      Printf.eprintf "pass %s failed verification:\n" pass;
+      List.iter
+        (fun d -> Printf.eprintf "  %s\n" (Mlir.Verifier.diag_to_string d))
+        diagnostics;
+      exit 1)
+
+let passes_arg =
+  let doc = "Comma-separated pass pipeline. Known passes: " ^ known_passes in
+  Arg.(value & opt (list string) [ "canonicalize" ] & info [ "passes"; "p" ] ~doc)
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify-each" ] ~doc:"Verify the IR after every pass.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print pass statistics to stderr.")
+
+let input_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
+
+let cmd =
+  let doc = "run SYCL-MLIR passes over textual IR" in
+  Cmd.v
+    (Cmd.info "sycl-mlir-opt" ~doc)
+    Term.(const run $ passes_arg $ verify_arg $ stats_arg $ input_arg)
+
+let () = exit (Cmd.eval cmd)

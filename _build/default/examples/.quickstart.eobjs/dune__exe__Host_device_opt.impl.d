@@ -1,0 +1,1 @@
+examples/host_device_opt.ml: Core Dialects Mlir Option Pass Printer Sycl_core Sycl_frontend Types

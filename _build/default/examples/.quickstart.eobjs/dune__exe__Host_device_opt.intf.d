@@ -1,0 +1,1 @@
+examples/host_device_opt.mli:

@@ -1,0 +1,1 @@
+examples/kernel_fusion.ml: Core List Mlir Pass Printer Printf Sycl_core Sycl_runtime Sycl_workloads

@@ -1,0 +1,1 @@
+examples/matmul_internalization.ml: Core Format List Mlir Option Printer Printf Sycl_core Sycl_runtime Sycl_sim Sycl_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attr Core Dialects Float List Mlir Option Pass Printf String Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

@@ -1,0 +1,1 @@
+examples/reduction_covariance.ml: Core Mlir Option Pass Printer Printf Sycl_core Sycl_workloads

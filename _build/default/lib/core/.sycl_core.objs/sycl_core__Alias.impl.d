@@ -1,0 +1,1 @@
+lib/core/alias.ml: Attr Core List Mlir Option Sycl_ops Sycl_types Types

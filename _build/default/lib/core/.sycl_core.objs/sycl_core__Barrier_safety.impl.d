@@ -1,0 +1,1 @@
+lib/core/barrier_safety.ml: Core List Logs Mlir Pass Sycl_ops Uniformity

@@ -1,0 +1,1 @@
+lib/core/canonicalize.ml: Array Attr Builder Core Dialects List Mlir Pass Rewrite

@@ -1,0 +1,1 @@
+lib/core/cse.ml: Array Attr Core Hashtbl List Mlir Op_registry Pass Types

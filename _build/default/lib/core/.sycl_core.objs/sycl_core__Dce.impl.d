@@ -1,0 +1,1 @@
+lib/core/dce.ml: Core Dialects List Mlir Pass Rewrite Sycl_ops

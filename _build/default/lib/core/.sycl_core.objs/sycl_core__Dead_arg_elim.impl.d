@@ -1,0 +1,1 @@
+lib/core/dead_arg_elim.ml: Attr Core List Mlir Pass Uniformity

@@ -1,0 +1,1 @@
+lib/core/detect_reduction.ml: Affine_expr Alias Array Attr Builder Core Dialects Dominance Hashtbl List Mlir Op_registry Pass Rewrite

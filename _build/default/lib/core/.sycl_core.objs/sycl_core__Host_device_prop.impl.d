@@ -1,0 +1,1 @@
+lib/core/host_device_prop.ml: Alias Attr Builder Core Dialects Launch_policy List Mlir Option Pass Rewrite Sycl_host_ops Sycl_ops

@@ -1,0 +1,1 @@
+lib/core/host_raising.ml: Attr Builder Core Dialects List Mlir Option Pass Rewrite Runtime_abi String Sycl_host_ops Sycl_types Types

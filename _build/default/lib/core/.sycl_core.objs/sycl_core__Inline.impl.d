@@ -1,0 +1,1 @@
+lib/core/inline.ml: Array Core Dialects Hashtbl List Mlir Option Pass Uniformity

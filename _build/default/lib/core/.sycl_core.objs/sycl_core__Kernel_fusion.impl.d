@@ -1,0 +1,1 @@
+lib/core/kernel_fusion.ml: Alias Array Attr Builder Core Dialects Fun Hashtbl List Mlir Op_registry Option Pass Printf Sycl_host_ops Sycl_ops Sycl_types Types Uniformity

@@ -1,0 +1,1 @@
+lib/core/launch_policy.mli:

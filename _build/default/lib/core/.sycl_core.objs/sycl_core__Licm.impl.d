@@ -1,0 +1,1 @@
+lib/core/licm.ml: Affine_expr Alias Array Builder Core Dialects Dominance Hashtbl List Mlir Op_registry Pass Types Uniformity

@@ -1,0 +1,1 @@
+lib/core/loop_unroll.ml: Array Attr Builder Core Dialects Hashtbl List Mlir Op_registry Pass Rewrite

@@ -1,0 +1,1 @@
+lib/core/lower_sycl.ml: Array Attr Builder Core Dialects Hashtbl List Mlir Option Pass Rewrite Sycl_ops Sycl_types Types Uniformity

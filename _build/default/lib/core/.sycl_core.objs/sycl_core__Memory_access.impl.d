@@ -1,0 +1,1 @@
+lib/core/memory_access.ml: Affine_expr Array Core Dialects Format Fun Hashtbl List Mlir Option Reaching_defs String Sycl_ops Sycl_types

@@ -1,0 +1,1 @@
+lib/core/memory_access.mli: Affine_expr Core Format Mlir Reaching_defs

@@ -1,0 +1,1 @@
+lib/core/raise_affine.ml: Array Attr Builder Core Dialects List Mlir Pass Rewrite

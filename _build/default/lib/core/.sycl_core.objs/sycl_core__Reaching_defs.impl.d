@@ -1,0 +1,1 @@
+lib/core/reaching_defs.ml: Alias Core Dataflow Dialects Hashtbl Int List Map Mlir Op_registry Option Set Types

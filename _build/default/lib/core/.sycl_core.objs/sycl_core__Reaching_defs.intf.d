@@ -1,0 +1,1 @@
+lib/core/reaching_defs.mli: Core Mlir

@@ -1,0 +1,1 @@
+lib/core/runtime_abi.ml: Sycl_types

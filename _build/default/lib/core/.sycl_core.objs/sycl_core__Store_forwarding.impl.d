@@ -1,0 +1,1 @@
+lib/core/store_forwarding.ml: Alias Array Core Dialects List Mlir Op_registry Pass Types

@@ -1,0 +1,1 @@
+lib/core/sycl_host_ops.ml: Attr Builder Core List Mlir Op_registry Option Sycl_types Types

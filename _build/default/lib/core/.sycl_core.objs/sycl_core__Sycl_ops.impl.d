@@ -1,0 +1,1 @@
+lib/core/sycl_ops.ml: Attr Builder Core Dialects List Mlir Op_registry Option Sycl_types Types

@@ -1,0 +1,1 @@
+lib/core/sycl_types.ml: List Mlir Parser Printf Types

@@ -1,0 +1,1 @@
+lib/core/uniformity.ml: Array Core Dialects Hashtbl List Mlir Op_registry Option Reaching_defs Sycl_ops

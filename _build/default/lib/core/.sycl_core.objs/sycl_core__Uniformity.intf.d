@@ -1,0 +1,1 @@
+lib/core/uniformity.mli: Core Mlir

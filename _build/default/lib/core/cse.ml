@@ -1,0 +1,51 @@
+(* Common-subexpression elimination for pure ops, scoped by region
+   nesting (values from enclosing blocks are visible in nested ones). *)
+
+open Mlir
+
+(* Structural key of an op: name, operand ids, sorted attrs, result types
+   (two constants with the same value but different types are distinct). *)
+let key (op : Core.op) =
+  ( op.Core.name,
+    Array.to_list (Array.map (fun v -> v.Core.vid) op.Core.operands),
+    List.sort compare op.Core.attrs,
+    List.map (fun r -> Types.to_string r.Core.vty) (Core.results op) )
+
+let run_on_func (f : Core.op) stats =
+  let rec go (scope : (string * int list * (string * Attr.t) list * string list, Core.op) Hashtbl.t)
+      (block : Core.block) =
+    let snapshot = block.Core.body in
+    List.iter
+      (fun op ->
+        if op.Core.parent_block <> None then begin
+          (* Only CSE pure, region-free ops. *)
+          if
+            Core.num_regions op = 0
+            && Core.num_results op > 0
+            && Op_registry.is_pure op
+          then begin
+            let k = key op in
+            match Hashtbl.find_opt scope k with
+            | Some existing ->
+              List.iteri
+                (fun i r -> Core.replace_all_uses_with r (Core.result existing i))
+                (Core.results op);
+              Core.erase_op op;
+              Pass.Stats.bump stats "cse.eliminated"
+            | None -> Hashtbl.replace scope k op
+          end
+          else
+            (* Recurse into regions with a copied scope (nested blocks see
+               the enclosing expressions but not vice versa). *)
+            Array.iter
+              (fun r ->
+                List.iter (fun b -> go (Hashtbl.copy scope) b) r.Core.blocks)
+              op.Core.regions
+        end)
+      snapshot
+  in
+  List.iter
+    (fun b -> go (Hashtbl.create 64) b)
+    f.Core.regions.(0).Core.blocks
+
+let pass = Pass.on_functions "cse" run_on_func

@@ -1,0 +1,41 @@
+(* SYCL Dead Argument Elimination (Section VII-B): kernel arguments left
+   without uses — typically after host-device constant propagation — are
+   marked dead; the runtime will then not pass them at kernel launch,
+   making launches cheaper on the host side. The argument list itself is
+   kept intact (the ABI position of live arguments must not move), which
+   matches how DPC++ communicates dead arguments to its runtime. *)
+
+open Mlir
+
+let dead_args_attr = "sycl.dead_args"
+
+let dead_args (kernel : Core.op) : int list =
+  match Core.attr kernel dead_args_attr with
+  | Some (Attr.Array xs) -> List.filter_map Attr.as_int xs
+  | _ -> []
+
+let run_on_kernel (kernel : Core.op) stats =
+  let args = Core.block_args (Core.func_body kernel) in
+  let dead =
+    List.filteri
+      (fun i arg ->
+        i > 0 (* argument 0 is the item *)
+        && not (Core.has_uses arg))
+      args
+    |> List.map (fun arg ->
+           match arg.Core.vdef with
+           | Core.Block_arg (_, i) -> i
+           | _ -> assert false)
+  in
+  if dead <> [] then begin
+    Core.set_attr kernel dead_args_attr
+      (Attr.Array (List.map (fun i -> Attr.Int i) dead));
+    Pass.Stats.bump ~by:(List.length dead) stats "dead-args.marked"
+  end
+
+let run (m : Core.op) stats =
+  List.iter
+    (fun f -> if Uniformity.is_kernel f then run_on_kernel f stats)
+    (Core.funcs m)
+
+let pass = Pass.make "sycl-dead-argument-elimination" run

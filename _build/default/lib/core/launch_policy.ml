@@ -1,0 +1,32 @@
+(* The SYCL runtime's work-group-size selection policy for plain
+   parallel_for(range) launches. Shared between the runtime and the
+   compiler: because SYCL-MLIR sees host and device together (Fig. 1,
+   dashed path), it can predict at compile time the work-group size the
+   runtime will pick, which is what makes loop internalization's tiling
+   legal to plan statically. *)
+
+let preferred_wg_1d = 256
+let preferred_wg_2d = 16
+let preferred_wg_3d = 8
+
+(** Largest power of two <= [cap] that divides [n] (>= 1). *)
+let divisor_pow2 ~cap n =
+  let rec go c = if c <= 1 then 1 else if n mod c = 0 then c else go (c / 2) in
+  let rec pow2_below x acc = if acc * 2 > x then acc else pow2_below x (acc * 2) in
+  if n <= 0 then 1 else go (pow2_below (max cap 1) 1)
+
+(** Work-group sizes for a given global range. *)
+let default_wg_size (global : int list) : int list =
+  match global with
+  | [ n ] -> [ divisor_pow2 ~cap:preferred_wg_1d n ]
+  | [ n0; n1 ] ->
+    let m = min (divisor_pow2 ~cap:preferred_wg_2d n0) (divisor_pow2 ~cap:preferred_wg_2d n1) in
+    [ m; m ]
+  | [ n0; n1; n2 ] ->
+    let m =
+      min
+        (divisor_pow2 ~cap:preferred_wg_3d n0)
+        (min (divisor_pow2 ~cap:preferred_wg_3d n1) (divisor_pow2 ~cap:preferred_wg_3d n2))
+    in
+    [ m; m; m ]
+  | other -> List.map (fun _ -> 1) other

@@ -1,0 +1,56 @@
+(** Memory-access analysis (paper Section V-D), after Kaeli et al. [14],
+    extended for SYCL accesses.
+
+    Each SYCL memory access in an (affine) loop is described by an access
+    matrix [A] and offset vector [c] such that the accessed index vector
+    is [A * (gid_0, ..., gid_{d-1}, iv_0, ...)ᵀ + c]. The inter-work-item
+    submatrix (thread columns) classifies coalescing; the intra-work-item
+    submatrix (loop-iv columns) detects temporal reuse. Loop
+    internalization (Section VI-C) consumes this analysis. *)
+
+open Mlir
+
+(** A column of the access matrix. *)
+type var =
+  | Global_id of int  (** work-item global id dimension *)
+  | Local_id of int
+  | Loop_iv of int  (** op id of the enclosing loop *)
+
+type access_kind = Load | Store
+
+(** Coalescing classes, after [14]: [Linear]/[Reverse_linear] = unit
+    stride in the fastest-varying thread dimension (coalescable);
+    [Thread_invariant] = broadcast within a sub-group. *)
+type coalescing =
+  | Linear
+  | Reverse_linear
+  | Thread_invariant
+  | Non_coalesced
+
+val coalescing_to_string : coalescing -> string
+
+type access = {
+  acc_op : Core.op;  (** the memref.load / memref.store *)
+  acc_subscript : Core.op option;  (** the sycl.accessor.subscript feeding it *)
+  accessor : Core.value option;  (** the accessor kernel argument *)
+  kind : access_kind;
+  vars : var list;  (** column meanings *)
+  matrix : int array array;  (** rows = accessor index dimensions *)
+  offsets : int array;
+  row_exprs : Affine_expr.t list;  (** per index dimension, over [vars] *)
+  coalescing : coalescing;
+  temporal_reuse : bool;  (** the intra-work-item matrix is non-zero *)
+}
+
+(** The first item-like argument of a kernel function. *)
+val item_arg : Core.op -> Core.value option
+
+(** ND-range dimensionality of a kernel, from its item argument type. *)
+val kernel_dims : Core.op -> int
+
+(** Analyze all SYCL memory accesses in the body of [loop] (an scf.for or
+    affine.for) inside [kernel]. Non-affine accesses are skipped. *)
+val analyze_loop :
+  kernel:Core.op -> Reaching_defs.t -> Core.op -> access list
+
+val pp_access : Format.formatter -> access -> unit

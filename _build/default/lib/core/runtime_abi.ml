@@ -1,0 +1,29 @@
+(* The modeled DPC++ runtime ABI: the host module obtained "from LLVM IR"
+   contains llvm.call operations against these symbols; the host raising
+   pass (Section VII-A) pattern-matches them back into sycl.host ops. The
+   frontend emits exactly these calls, playing the role of clang +
+   mlir-translate in Fig. 1. *)
+
+let queue_ctor = "__sycl_queue_ctor"
+let buffer_ctor = "__sycl_buffer_ctor"
+let submit = "__sycl_submit"
+let accessor_ctor = "__sycl_accessor_ctor"
+let set_captured = "__sycl_set_captured"
+let set_nd_range = "__sycl_set_nd_range"
+let parallel_for = "__sycl_parallel_for"
+let queue_wait = "__sycl_queue_wait"
+let buffer_dtor = "__sycl_buffer_dtor"
+let malloc_device = "__sycl_malloc_device"
+let memcpy = "__sycl_memcpy"
+let free = "__sycl_free"
+
+let mode_to_int = function
+  | Sycl_types.Read -> 0
+  | Sycl_types.Write -> 1
+  | Sycl_types.Read_write -> 2
+
+let mode_of_int = function
+  | 0 -> Some Sycl_types.Read
+  | 1 -> Some Sycl_types.Write
+  | 2 -> Some Sycl_types.Read_write
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/dialects/affine_ops.ml: Affine_expr Array Attr Builder Core List Memref Mlir Op_registry Option Types Verifier

@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Array Attr Builder Core Float Mlir Op_registry Option Rewrite Types

@@ -1,0 +1,1 @@
+lib/dialects/gpu.ml: Attr Builder Core List Mlir Op_registry Types

@@ -1,0 +1,1 @@
+lib/dialects/llvm.ml: Array Attr Builder Core List Mlir Op_registry Option Types

@@ -1,0 +1,1 @@
+lib/dialects/memref.ml: Arith Attr Builder Core List Mlir Op_registry Types

@@ -1,0 +1,1 @@
+lib/dialects/register.ml: Affine_ops Arith Func Gpu Llvm Memref Scf

@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Array Builder Core List Mlir Op_registry Types Verifier

@@ -1,0 +1,49 @@
+(* The gpu dialect subset: work-group barriers and work-group local memory
+   allocation, used by the loop-internalization optimization
+   (Section VI-C of the paper). *)
+
+open Mlir
+
+let barrier b = Builder.op0 b "gpu.barrier" ~operands:[]
+
+let is_barrier op = op.Core.name = "gpu.barrier"
+
+let local_slot_counter = ref 0
+
+(** Allocate work-group local memory. One allocation is shared by all
+    work-items of a work-group (the simulator keys the allocation on the
+    [slot] attribute). *)
+let alloc_local b shape element =
+  incr local_slot_counter;
+  Builder.op1 b "gpu.alloc_local" ~operands:[]
+    ~result_type:
+      (Types.memref ~space:Types.Local (List.map (fun d -> Some d) shape) element)
+    ~attrs:[ ("slot", Attr.Int !local_slot_counter) ]
+
+let is_alloc_local op = op.Core.name = "gpu.alloc_local"
+
+let init_done = ref false
+
+let init () =
+  if not !init_done then begin
+    init_done := true;
+    (* The barrier synchronizes memory: treat as read+write anywhere so no
+       memory operation is moved across it. *)
+    Op_registry.register "gpu.barrier"
+      {
+        Op_registry.default_info with
+        Op_registry.memory_effects =
+          (fun _ ->
+            Some
+              [
+                (Op_registry.Read, Op_registry.Anywhere);
+                (Op_registry.Write, Op_registry.Anywhere);
+              ]);
+      };
+    Op_registry.register "gpu.alloc_local"
+      {
+        Op_registry.default_info with
+        Op_registry.memory_effects =
+          (fun _ -> Some [ (Op_registry.Alloc, Op_registry.On_result 0) ]);
+      }
+  end

@@ -1,0 +1,10 @@
+(* One-stop registration of all builtin dialects. Idempotent. *)
+
+let init () =
+  Arith.init ();
+  Memref.init ();
+  Scf.init ();
+  Affine_ops.init ();
+  Func.init ();
+  Gpu.init ();
+  Llvm.init ()

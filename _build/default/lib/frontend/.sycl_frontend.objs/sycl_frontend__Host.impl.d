@@ -1,0 +1,1 @@
+lib/frontend/host.ml: Attr Builder Core Dialects Hashtbl List Mlir Sycl_core Types

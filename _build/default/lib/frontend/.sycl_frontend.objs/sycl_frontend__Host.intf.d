@@ -1,0 +1,1 @@
+lib/frontend/host.mli: Attr Core Mlir Sycl_core Types

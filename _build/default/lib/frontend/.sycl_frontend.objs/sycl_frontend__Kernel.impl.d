@@ -1,0 +1,1 @@
+lib/frontend/kernel.ml: Attr Core Dialects List Mlir Sycl_core Types

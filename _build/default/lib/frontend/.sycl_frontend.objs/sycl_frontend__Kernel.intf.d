@@ -1,0 +1,1 @@
+lib/frontend/kernel.mli: Builder Core Mlir Sycl_core Types

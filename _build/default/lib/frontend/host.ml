@@ -1,0 +1,176 @@
+(* Host-program construction: a structural description of a SYCL host
+   program (buffers, command groups, USM traffic) lowered to the low-level
+   llvm-dialect host IR a C++ compiler would produce — i.e. calls against
+   the modeled DPC++ runtime ABI. The host raising pass (Section VII-A)
+   then recovers the structure; round-tripping through this low-level form
+   is exactly the flow of Fig. 1's dashed path. *)
+
+open Mlir
+module Sycl_types = Sycl_core.Sycl_types
+module Abi = Sycl_core.Runtime_abi
+
+(** Sizes in the host program: compile-time constants or values flowing in
+    from outside (CLI arguments — the common case in SYCL-Bench). *)
+type size =
+  | Const of int
+  | Arg of int  (** index into the host main arguments *)
+
+type capture =
+  | Capture_acc of int * Sycl_types.access_mode  (** buffer index *)
+  | Capture_acc_ranged of int * Sycl_types.access_mode * size list * size list
+      (** buffer, mode, range, offset *)
+  | Capture_scalar of Attr.t  (** compile-time constant capture *)
+  | Capture_scalar_arg of int  (** scalar from a host main argument *)
+  | Capture_global of string  (** address of a module-level global *)
+  | Capture_usm of int  (** USM slot *)
+
+type command_group = {
+  cg_kernel : string;
+  cg_global : size list;
+  cg_local : int list option;
+  cg_captures : capture list;
+}
+
+type stmt =
+  | Submit of command_group
+  | Repeat of size * stmt list
+  | Usm_alloc of int * size * Types.t  (** slot, elements, element type *)
+  | Memcpy_h2d of int * int * size  (** usm slot, host arg, elements *)
+  | Memcpy_d2h of int * int * size  (** host arg, usm slot, elements *)
+  | Usm_free of int
+
+type buffer_decl = {
+  buf_data_arg : int;  (** host main argument holding the data *)
+  buf_dims : size list;
+  buf_element : Types.t;
+}
+
+type program = {
+  host_args : Types.t list;  (** main's argument types *)
+  buffers : buffer_decl list;
+  globals : (string * Attr.t) list;  (** constant dense globals *)
+  body : stmt list;
+}
+
+let handle = Dialects.Llvm.handle
+
+(** Emit the host program as a @main function (plus globals) into [m]. *)
+let emit (m : Core.op) (p : program) : Core.op =
+  List.iter (fun (name, data) -> ignore (Dialects.Llvm.global m name data)) p.globals;
+  Dialects.Func.func m "main" ~args:p.host_args ~results:[] (fun b args ->
+      let arg i = List.nth args i in
+      let size_v = function
+        | Const c -> Dialects.Arith.const_index b c
+        | Arg i -> arg i
+      in
+      (* Queue. *)
+      let q = Dialects.Llvm.call1 b Abi.queue_ctor ~operands:[] ~result:handle in
+      (* Buffers. *)
+      let buffers =
+        List.map
+          (fun bd ->
+            Dialects.Llvm.call1 b Abi.buffer_ctor
+              ~operands:(arg bd.buf_data_arg :: List.map size_v bd.buf_dims)
+              ~result:handle)
+          p.buffers
+      in
+      let usm_slots : (int, Core.value) Hashtbl.t = Hashtbl.create 4 in
+      let rec exec_stmt (b : Builder.t) stmt =
+        let size_v s =
+          match s with
+          | Const c -> Dialects.Arith.const_index b c
+          | Arg i -> arg i
+        in
+        match stmt with
+        | Submit cg ->
+          let h = Dialects.Llvm.call1 b Abi.submit ~operands:[ q ] ~result:handle in
+          List.iteri
+            (fun i cap ->
+              let v =
+                match cap with
+                | Capture_acc (bi, mode) ->
+                  let mode_c =
+                    Dialects.Arith.const_int b (Abi.mode_to_int mode)
+                  in
+                  let ranged_c = Dialects.Arith.const_int b 0 in
+                  Dialects.Llvm.call1 b Abi.accessor_ctor
+                    ~operands:[ List.nth buffers bi; h; mode_c; ranged_c ]
+                    ~result:handle
+                | Capture_acc_ranged (bi, mode, ranges, offsets) ->
+                  let mode_c =
+                    Dialects.Arith.const_int b (Abi.mode_to_int mode)
+                  in
+                  let ranged_c = Dialects.Arith.const_int b 1 in
+                  Dialects.Llvm.call1 b Abi.accessor_ctor
+                    ~operands:
+                      ([ List.nth buffers bi; h; mode_c; ranged_c ]
+                      @ List.map size_v ranges @ List.map size_v offsets)
+                    ~result:handle
+                | Capture_scalar a ->
+                  let ty =
+                    match a with
+                    | Attr.Float _ -> Types.f32
+                    | Attr.Int _ -> Types.Index
+                    | _ -> Types.i64
+                  in
+                  Dialects.Arith.constant b a ty
+                | Capture_scalar_arg i -> arg i
+                | Capture_global name -> Dialects.Llvm.addressof b m name
+                | Capture_usm slot -> Hashtbl.find usm_slots slot
+              in
+              let idx_c = Dialects.Arith.const_int b (i + 1) in
+              Dialects.Llvm.call0 b Abi.set_captured ~operands:[ h; v; idx_c ])
+            cg.cg_captures;
+          let dims_c = Dialects.Arith.const_int b (List.length cg.cg_global) in
+          let has_local_c =
+            Dialects.Arith.const_int b (if cg.cg_local = None then 0 else 1)
+          in
+          let locals =
+            match cg.cg_local with
+            | Some ls -> List.map (fun l -> Dialects.Arith.const_index b l) ls
+            | None -> []
+          in
+          Dialects.Llvm.call0 b Abi.set_nd_range
+            ~operands:
+              (([ h; dims_c ] @ List.map size_v cg.cg_global)
+              @ (has_local_c :: locals));
+          let pf =
+            Core.create_op "llvm.call" ~operands:[ h ] ~result_types:[]
+              ~attrs:
+                [
+                  ("callee", Attr.Symbol Abi.parallel_for);
+                  ("kernel", Attr.Symbol cg.cg_kernel);
+                ]
+          in
+          ignore (Builder.insert b pf)
+        | Repeat (n, stmts) ->
+          let lb = Dialects.Arith.const_index b 0 in
+          let step = Dialects.Arith.const_index b 1 in
+          ignore
+            (Dialects.Scf.for_ b ~lb ~ub:(size_v n) ~step (fun bb _iv _ ->
+                 List.iter (exec_stmt bb) stmts;
+                 []))
+        | Usm_alloc (slot, n, element) ->
+          let pv =
+            Builder.op1 b "llvm.call"
+              ~operands:[ q; size_v n ]
+              ~result_type:(Types.memref_dyn element)
+              ~attrs:[ ("callee", Attr.Symbol Abi.malloc_device) ]
+          in
+          Hashtbl.replace usm_slots slot pv
+        | Memcpy_h2d (slot, host_arg, n) ->
+          Dialects.Llvm.call0 b Abi.memcpy
+            ~operands:[ q; Hashtbl.find usm_slots slot; arg host_arg; size_v n ]
+        | Memcpy_d2h (host_arg, slot, n) ->
+          Dialects.Llvm.call0 b Abi.memcpy
+            ~operands:[ q; arg host_arg; Hashtbl.find usm_slots slot; size_v n ]
+        | Usm_free slot ->
+          Dialects.Llvm.call0 b Abi.free
+            ~operands:[ q; Hashtbl.find usm_slots slot ]
+      in
+      List.iter (exec_stmt b) p.body;
+      List.iter
+        (fun buf -> Dialects.Llvm.call0 b Abi.buffer_dtor ~operands:[ buf ])
+        buffers;
+      Dialects.Llvm.call0 b Abi.queue_wait ~operands:[ q ];
+      Dialects.Func.return b [])

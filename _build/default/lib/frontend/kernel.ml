@@ -1,0 +1,114 @@
+(* Device-kernel construction EDSL: plays the role of Clang + Polygeist in
+   Fig. 1 by producing the device IR a SYCL kernel functor lowers to —
+   kernels take an item-like argument plus the flattened captures, and use
+   SYCL dialect operations for id queries and accessor memory access. *)
+
+open Mlir
+module Sycl_types = Sycl_core.Sycl_types
+module Sycl_ops = Sycl_core.Sycl_ops
+
+type arg_spec =
+  | Acc of int * Sycl_types.access_mode * Types.t
+      (** dims, mode, element type *)
+  | Scal of Types.t
+  | Ptr of Types.t  (** USM device pointer (1-D) *)
+
+let arg_type = function
+  | Acc (dims, mode, element) -> Sycl_types.accessor ~mode ~dims element
+  | Scal ty -> ty
+  | Ptr element -> Types.memref_dyn element
+
+(** Define a kernel function in module [m]. The body receives a builder,
+    the item argument and the capture arguments. Use [nd] for nd_item
+    kernels (local ids / barriers available in source). *)
+let define (m : Core.op) ~(name : string) ~(dims : int) ?(nd = false)
+    ~(args : arg_spec list) body =
+  let item_ty = if nd then Sycl_types.nd_item dims else Sycl_types.item dims in
+  let arg_tys = item_ty :: List.map arg_type args in
+  let f =
+    Dialects.Func.func m name ~args:arg_tys ~results:[] (fun b vals ->
+        match vals with
+        | item :: rest ->
+          body b ~item ~args:rest;
+          Dialects.Func.return b []
+        | [] -> assert false)
+  in
+  Core.set_attr f "sycl.kernel" Attr.Unit;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Body-building helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let idx b i = Dialects.Arith.const_index b i
+let fconst b f = Dialects.Arith.const_float b f
+
+(** Global id of the work-item in dimension [d]. *)
+let gid b item d =
+  let dim = Dialects.Arith.const_int b ~ty:Types.i32 d in
+  match item.Core.vty with
+  | Sycl_types.Nd_item _ -> Sycl_ops.nd_item_get_global_id b item dim
+  | _ -> Sycl_ops.item_get_id b item dim
+
+let lid b item d =
+  let dim = Dialects.Arith.const_int b ~ty:Types.i32 d in
+  Sycl_ops.nd_item_get_local_id b item dim
+
+(** Global range (problem size) in dimension [d]. *)
+let grange b item d =
+  let dim = Dialects.Arith.const_int b ~ty:Types.i32 d in
+  match item.Core.vty with
+  | Sycl_types.Nd_item _ -> Sycl_ops.nd_item_get_global_range b item dim
+  | _ -> Sycl_ops.item_get_range b item dim
+
+(** Address of accessor element [acc[indices]] as a 1-D view, using the
+    direct (pure) subscript form so identical subscripts CSE and
+    loop-invariant ones hoist. *)
+let acc_view b acc indices = Sycl_ops.accessor_subscript_multi b acc indices
+
+(** Load accessor element. *)
+let acc_get b acc indices =
+  let view = acc_view b acc indices in
+  Dialects.Memref.load b view [ idx b 0 ]
+
+(** Store accessor element. *)
+let acc_set b acc indices value =
+  let view = acc_view b acc indices in
+  Dialects.Memref.store b value view [ idx b 0 ]
+
+(** Simple counted loop [0, ub) with unit body. *)
+let for_up b ub f =
+  ignore
+    (Dialects.Scf.for_ b ~lb:(idx b 0) ~ub ~step:(idx b 1) (fun bb iv _ ->
+         f bb iv;
+         []))
+
+(** Loop from [lo] to [hi] step [st] with unit body. *)
+let for_range b ~lb ~ub ~step f =
+  ignore
+    (Dialects.Scf.for_ b ~lb ~ub ~step (fun bb iv _ ->
+         f bb iv;
+         []))
+
+(** USM pointer element access. *)
+let ptr_get b p i = Dialects.Memref.load b p [ i ]
+let ptr_set b p i v = Dialects.Memref.store b v p [ i ]
+
+(** Read-modify-write of an accessor element through a single subscript
+    (what C++ [acc[i] op= e] lowers to): the view is computed once, so the
+    load/store pair is visible to detect-reduction as one location. *)
+let acc_update b acc indices f =
+  let view = acc_view b acc indices in
+  let zero = idx b 0 in
+  let old_v = Dialects.Memref.load b view [ zero ] in
+  let new_v = f old_v in
+  Dialects.Memref.store b new_v view [ zero ]
+
+(* Arithmetic shorthands. *)
+let addi = Dialects.Arith.addi
+let subi = Dialects.Arith.subi
+let muli = Dialects.Arith.muli
+let addf = Dialects.Arith.addf
+let subf = Dialects.Arith.subf
+let mulf = Dialects.Arith.mulf
+let divf = Dialects.Arith.divf

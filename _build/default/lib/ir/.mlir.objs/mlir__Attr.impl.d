@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Affine_expr Array Bool Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/core.ml: Array Attr Hashtbl List Option Types

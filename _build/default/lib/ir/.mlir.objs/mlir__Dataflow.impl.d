@@ -1,0 +1,1 @@
+lib/ir/dataflow.ml: Array Core Hashtbl Int List Op_registry Set

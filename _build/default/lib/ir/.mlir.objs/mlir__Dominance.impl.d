@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Core List Op_registry

@@ -1,0 +1,1 @@
+lib/ir/op_registry.ml: Array Attr Core Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Affine_expr Array Attr Buffer Core Float Hashtbl List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Core Format Hashtbl List Option Printer Printf Unix Verifier

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Attr Buffer Core Format Hashtbl List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Array Attr Builder Core List Op_registry Option Types

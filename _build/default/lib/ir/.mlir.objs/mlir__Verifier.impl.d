@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Core Dominance List Op_registry Printer Printf Types

@@ -1,0 +1,51 @@
+(* Operation attributes: compile-time constant data attached to operations,
+   mirroring MLIR's attribute system. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int  (** Also used for index-typed constants. *)
+  | Float of float
+  | String of string
+  | Type of Types.t
+  | Symbol of string  (** A symbol reference, printed as [@name]. *)
+  | Array of t list
+  | Dense_int of int array
+  | Dense_float of float array
+  | Affine_map of Affine_expr.Map.t
+
+let rec to_string = function
+  | Unit -> "unit"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%h" f
+  | String s -> Printf.sprintf "%S" s
+  | Type ty -> Types.to_string ty
+  | Symbol s -> "@" ^ s
+  | Array xs -> "[" ^ String.concat ", " (List.map to_string xs) ^ "]"
+  | Dense_int xs ->
+    "dense_i<"
+    ^ String.concat ", " (Array.to_list (Array.map string_of_int xs))
+    ^ ">"
+  | Dense_float xs ->
+    "dense_f<"
+    ^ String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%h") xs))
+    ^ ">"
+  | Affine_map m -> "affine_map<" ^ Affine_expr.Map.to_string m ^ ">"
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let equal (a : t) (b : t) = a = b
+
+(* Accessors returning [None] on kind mismatch. *)
+let as_int = function Int i -> Some i | Bool b -> Some (Bool.to_int b) | _ -> None
+let as_float = function Float f -> Some f | _ -> None
+let as_string = function String s -> Some s | _ -> None
+let as_bool = function Bool b -> Some b | Int i -> Some (i <> 0) | _ -> None
+let as_type = function Type t -> Some t | _ -> None
+let as_symbol = function Symbol s -> Some s | _ -> None
+let as_array = function Array a -> Some a | _ -> None
+let as_affine_map = function Affine_map m -> Some m | _ -> None
+
+(** Is this attribute a numeric constant usable for folding? *)
+let is_numeric = function Int _ | Float _ | Bool _ -> true | _ -> false

@@ -1,0 +1,65 @@
+(* Insertion-point based IR construction, mirroring MLIR's OpBuilder. *)
+
+type insertion_point =
+  | At_end of Core.block
+  | Before of Core.op
+
+type t = { mutable ip : insertion_point option }
+
+let create () = { ip = None }
+
+let at_end block = { ip = Some (At_end block) }
+let before op = { ip = Some (Before op) }
+
+let set_insertion_point_to_end b block = b.ip <- Some (At_end block)
+let set_insertion_point_before b op = b.ip <- Some (Before op)
+let set_insertion_point_after b op =
+  (* Inserting "after op" = remembering the op following it, or block end. *)
+  match op.Core.parent_block with
+  | None -> invalid_arg "set_insertion_point_after: detached op"
+  | Some block ->
+    let rec find = function
+      | [] -> invalid_arg "set_insertion_point_after: op not in block"
+      | o :: rest when o == op -> (
+        match rest with [] -> At_end block | next :: _ -> Before next)
+      | _ :: rest -> find rest
+    in
+    b.ip <- Some (find block.Core.body)
+
+let after op =
+  let b = create () in
+  set_insertion_point_after b op;
+  b
+
+let insertion_block b =
+  match b.ip with
+  | Some (At_end block) -> Some block
+  | Some (Before op) -> op.Core.parent_block
+  | None -> None
+
+(** Create an op at the current insertion point. *)
+let insert b op =
+  (match b.ip with
+  | None -> invalid_arg "Builder.insert: no insertion point"
+  | Some (At_end block) -> Core.append_op block op
+  | Some (Before anchor) -> Core.insert_before ~anchor op);
+  op
+
+let op ?attrs ?regions ~operands ~result_types b name =
+  insert b (Core.create_op ?attrs ?regions ~operands ~result_types name)
+
+(** Like {!op} for single-result operations; returns the result value. *)
+let op1 ?attrs ?regions ~operands ~result_type b name =
+  let o = op ?attrs ?regions ~operands ~result_types:[ result_type ] b name in
+  Core.result o 0
+
+(** Like {!op} for zero-result operations; returns unit. *)
+let op0 ?attrs ?regions ~operands b name =
+  ignore (op ?attrs ?regions ~operands ~result_types:[] b name)
+
+(** Run [f] with the insertion point temporarily moved to the end of
+    [block], restoring it afterwards. *)
+let within b block f =
+  let saved = b.ip in
+  b.ip <- Some (At_end block);
+  Fun.protect ~finally:(fun () -> b.ip <- saved) f

@@ -1,0 +1,57 @@
+(** Insertion-point based IR construction, mirroring MLIR's [OpBuilder]. *)
+
+type insertion_point =
+  | At_end of Core.block
+  | Before of Core.op
+
+type t = { mutable ip : insertion_point option }
+
+val create : unit -> t
+
+(** Builders positioned at a block end / before an op / after an op. *)
+val at_end : Core.block -> t
+
+val before : Core.op -> t
+val after : Core.op -> t
+
+val set_insertion_point_to_end : t -> Core.block -> unit
+val set_insertion_point_before : t -> Core.op -> unit
+val set_insertion_point_after : t -> Core.op -> unit
+
+val insertion_block : t -> Core.block option
+
+(** Insert a detached op at the current insertion point. *)
+val insert : t -> Core.op -> Core.op
+
+(** Create and insert an op. *)
+val op :
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Core.region list ->
+  operands:Core.value list ->
+  result_types:Types.t list ->
+  t ->
+  string ->
+  Core.op
+
+(** Like {!op} for single-result ops; returns the result value. *)
+val op1 :
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Core.region list ->
+  operands:Core.value list ->
+  result_type:Types.t ->
+  t ->
+  string ->
+  Core.value
+
+(** Like {!op} for zero-result ops. *)
+val op0 :
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Core.region list ->
+  operands:Core.value list ->
+  t ->
+  string ->
+  unit
+
+(** Run a function with the insertion point temporarily moved to the end
+    of a block, restoring it afterwards. *)
+val within : t -> Core.block -> (unit -> 'a) -> 'a

@@ -1,0 +1,400 @@
+(* The IR object graph: SSA values, operations, blocks and regions, with the
+   nesting structure that MLIR uses (an op holds regions, a region holds
+   blocks, a block holds ops). Operations are generic records identified by a
+   "dialect.op" name; dialects provide smart constructors and register
+   semantic information in {!Op_registry}. *)
+
+type value = {
+  vid : int;
+  mutable vty : Types.t;
+  mutable vdef : vdef;
+  (* Use list: (op, operand index) pairs, maintained by the mutators below.
+     All operand mutation must go through [set_operand]/[erase_op]. *)
+  mutable uses : (op * int) list;
+}
+
+and vdef =
+  | Op_result of op * int
+  | Block_arg of block * int
+
+and op = {
+  oid : int;
+  name : string;
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : (string * Attr.t) list;
+  regions : region array;
+  mutable parent_block : block option;
+}
+
+and block = {
+  bid : int;
+  mutable bargs : value array;
+  mutable body : op list;
+  mutable parent_region : region option;
+}
+
+and region = {
+  rid : int;
+  mutable blocks : block list;
+  mutable parent_op : op option;
+}
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let value_type v = v.vty
+
+let defining_op v =
+  match v.vdef with Op_result (op, _) -> Some op | Block_arg _ -> None
+
+let result_index v =
+  match v.vdef with Op_result (_, i) -> Some i | Block_arg _ -> None
+
+let value_equal a b = a.vid = b.vid
+
+let uses v = v.uses
+let has_uses v = v.uses <> []
+let num_uses v = List.length v.uses
+
+(* ------------------------------------------------------------------ *)
+(* Op construction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let add_use v op idx = v.uses <- (op, idx) :: v.uses
+
+let remove_use v op idx =
+  v.uses <- List.filter (fun (o, i) -> not (o == op && i = idx)) v.uses
+
+(** Create a detached operation. Results are fresh values; regions are given
+    already-built (detached) regions whose parent is patched here. *)
+let create_op ?(attrs = []) ?(regions = []) ~operands ~result_types name =
+  let op =
+    {
+      oid = next_id ();
+      name;
+      operands = Array.of_list operands;
+      results = [||];
+      attrs;
+      regions = Array.of_list regions;
+      parent_block = None;
+    }
+  in
+  op.results <-
+    Array.of_list
+      (List.mapi
+         (fun i ty ->
+           { vid = next_id (); vty = ty; vdef = Op_result (op, i); uses = [] })
+         result_types);
+  Array.iteri (fun i v -> add_use v op i) op.operands;
+  Array.iter (fun r -> r.parent_op <- Some op) op.regions;
+  op
+
+let create_block ?(args = []) () =
+  let blk = { bid = next_id (); bargs = [||]; body = []; parent_region = None } in
+  blk.bargs <-
+    Array.of_list
+      (List.mapi
+         (fun i ty ->
+           { vid = next_id (); vty = ty; vdef = Block_arg (blk, i); uses = [] })
+         args);
+  blk
+
+let create_region ?(blocks = []) () =
+  let r = { rid = next_id (); blocks; parent_op = None } in
+  List.iter (fun b -> b.parent_region <- Some r) blocks;
+  r
+
+(** A region with a single empty entry block carrying [args]. *)
+let region_with_block ?(args = []) () =
+  let b = create_block ~args () in
+  create_region ~blocks:[ b ] ()
+
+let entry_block r =
+  match r.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Core.entry_block: empty region"
+
+let block_args b = Array.to_list b.bargs
+let block_arg b i = b.bargs.(i)
+
+let add_block_arg b ty =
+  let i = Array.length b.bargs in
+  let v = { vid = next_id (); vty = ty; vdef = Block_arg (b, i); uses = [] } in
+  b.bargs <- Array.append b.bargs [| v |];
+  v
+
+let result op i = op.results.(i)
+let results op = Array.to_list op.results
+let num_results op = Array.length op.results
+let operand op i = op.operands.(i)
+let operands op = Array.to_list op.operands
+let num_operands op = Array.length op.operands
+
+let attr op key = List.assoc_opt key op.attrs
+
+let set_attr op key a =
+  op.attrs <- (key, a) :: List.remove_assoc key op.attrs
+
+let remove_attr op key = op.attrs <- List.remove_assoc key op.attrs
+
+let attr_int op key = Option.bind (attr op key) Attr.as_int
+let attr_string op key = Option.bind (attr op key) Attr.as_string
+let attr_symbol op key = Option.bind (attr op key) Attr.as_symbol
+let attr_type op key = Option.bind (attr op key) Attr.as_type
+let has_attr op key = attr op key <> None
+
+let region op i = op.regions.(i)
+let num_regions op = Array.length op.regions
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let set_operand op i v =
+  let old = op.operands.(i) in
+  if not (value_equal old v) then begin
+    remove_use old op i;
+    op.operands.(i) <- v;
+    add_use v op i
+  end
+
+let set_operands op vs =
+  Array.iteri (fun i old -> remove_use old op i) op.operands;
+  op.operands <- Array.of_list vs;
+  Array.iteri (fun i v -> add_use v op i) op.operands
+
+let replace_all_uses_with old_v new_v =
+  (* Copy: set_operand mutates the use list we're iterating. *)
+  let us = old_v.uses in
+  List.iter (fun (op, i) -> set_operand op i new_v) us
+
+let replace_uses_if old_v new_v pred =
+  let us = old_v.uses in
+  List.iter (fun (op, i) -> if pred op then set_operand op i new_v) us
+
+(* Block body surgery. Ops are compared physically (each op record is
+   unique), so list rebuilding is safe. *)
+
+let append_op block op =
+  assert (op.parent_block = None);
+  block.body <- block.body @ [ op ];
+  op.parent_block <- Some block
+
+let prepend_op block op =
+  assert (op.parent_block = None);
+  block.body <- op :: block.body;
+  op.parent_block <- Some block
+
+let insert_before ~anchor op =
+  match anchor.parent_block with
+  | None -> invalid_arg "insert_before: anchor is detached"
+  | Some block ->
+    assert (op.parent_block = None);
+    let rec go = function
+      | [] -> invalid_arg "insert_before: anchor not in its block"
+      | o :: rest when o == anchor -> op :: o :: rest
+      | o :: rest -> o :: go rest
+    in
+    block.body <- go block.body;
+    op.parent_block <- Some block
+
+let insert_after ~anchor op =
+  match anchor.parent_block with
+  | None -> invalid_arg "insert_after: anchor is detached"
+  | Some block ->
+    assert (op.parent_block = None);
+    let rec go = function
+      | [] -> invalid_arg "insert_after: anchor not in its block"
+      | o :: rest when o == anchor -> o :: op :: rest
+      | o :: rest -> o :: go rest
+    in
+    block.body <- go block.body;
+    op.parent_block <- Some block
+
+(** Detach [op] from its block without touching its operands' use lists. *)
+let detach_op op =
+  match op.parent_block with
+  | None -> ()
+  | Some block ->
+    block.body <- List.filter (fun o -> not (o == op)) block.body;
+    op.parent_block <- None
+
+exception Has_uses of op
+
+(** Remove [op] entirely: drops operand uses; fails if results are used. *)
+let erase_op op =
+  Array.iter (fun r -> if has_uses r then raise (Has_uses op)) op.results;
+  detach_op op;
+  Array.iteri (fun i v -> remove_use v op i) op.operands
+
+(** Erase without checking uses (for bulk deletion of whole regions). *)
+let erase_op_unsafe op =
+  detach_op op;
+  Array.iteri (fun i v -> remove_use v op i) op.operands
+
+(** Move [op] (possibly attached elsewhere) to just before [anchor]. *)
+let move_before ~anchor op =
+  detach_op op;
+  insert_before ~anchor op
+
+let move_to_end block op =
+  detach_op op;
+  append_op block op
+
+(* ------------------------------------------------------------------ *)
+(* Navigation and traversal                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parent_op_of_block b =
+  Option.bind b.parent_region (fun r -> r.parent_op)
+
+let parent_op op = Option.bind op.parent_block parent_op_of_block
+
+let rec ancestors op =
+  match parent_op op with None -> [] | Some p -> p :: ancestors p
+
+(** Is [anc] a (transitive) ancestor op of [op]? *)
+let is_ancestor ~anc op = List.exists (fun a -> a == anc) (ancestors op)
+
+(** Is the block containing [op] nested inside (or equal to) [region]? *)
+let rec is_in_region region op =
+  match op.parent_block with
+  | None -> false
+  | Some b -> (
+    match b.parent_region with
+    | None -> false
+    | Some r ->
+      r == region
+      || (match r.parent_op with None -> false | Some p -> is_in_region region p))
+
+(** Pre-order walk over [op] and every op nested in its regions. *)
+let rec walk op ~f =
+  f op;
+  Array.iter
+    (fun r ->
+      List.iter (fun b -> List.iter (fun o -> walk o ~f) b.body) r.blocks)
+    op.regions
+
+(** Walk, but a snapshot of each block body is taken first so [f] may erase
+    or insert ops while walking. *)
+let rec walk_mutable op ~f =
+  f op;
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          let snapshot = b.body in
+          List.iter (fun o -> if o.parent_block <> None then walk_mutable o ~f) snapshot)
+        r.blocks)
+    op.regions
+
+let walk_region region ~f =
+  List.iter (fun b -> List.iter (fun o -> walk o ~f) b.body) region.blocks
+
+(** Collect ops satisfying [p] in pre-order. *)
+let collect op ~p =
+  let acc = ref [] in
+  walk op ~f:(fun o -> if p o then acc := o :: !acc);
+  List.rev !acc
+
+let collect_named op name = collect op ~p:(fun o -> o.name = name)
+
+(** First op (pre-order, excluding [op] itself) satisfying [p]. *)
+let find_first op ~p =
+  let exception Found of op in
+  match
+    walk op ~f:(fun o -> if (not (o == op)) && p o then raise (Found o))
+  with
+  | () -> None
+  | exception Found o -> Some o
+
+(* ------------------------------------------------------------------ *)
+(* Module / function helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let module_name = "builtin.module"
+let func_name = "func.func"
+
+let create_module () =
+  create_op module_name ~operands:[] ~result_types:[] ~regions:[ region_with_block () ]
+
+let module_block m =
+  assert (m.name = module_name);
+  entry_block m.regions.(0)
+
+let is_module op = op.name = module_name
+let is_func op = op.name = func_name
+
+let func_sym op = match attr_string op "sym_name" with Some s -> s | None -> "?"
+
+let lookup_func m name =
+  List.find_opt
+    (fun o -> is_func o && func_sym o = name)
+    (module_block m).body
+
+let funcs m = List.filter is_func (module_block m).body
+
+(** The function type of a func.func op. *)
+let func_type op =
+  match attr_type op "function_type" with
+  | Some (Types.Function (a, r)) -> (a, r)
+  | _ -> invalid_arg "func_type: op has no function_type attribute"
+
+let func_body op =
+  assert (is_func op);
+  entry_block op.regions.(0)
+
+(** Enclosing func.func of an op, if any. *)
+let rec enclosing_func op =
+  if is_func op then Some op
+  else match parent_op op with None -> None | Some p -> enclosing_func p
+
+(** Deep-copy [op] and everything nested in it. [value_map] carries the
+    mapping from old to new values; operands defined outside the cloned
+    subtree map to themselves. *)
+let rec clone_op ?(value_map = Hashtbl.create 16) op =
+  let map_value v =
+    match Hashtbl.find_opt value_map v.vid with Some v' -> v' | None -> v
+  in
+  let regions =
+    Array.to_list op.regions
+    |> List.map (fun r ->
+           let blocks =
+             List.map
+               (fun b ->
+                 let nb =
+                   create_block ~args:(List.map (fun a -> a.vty) (block_args b)) ()
+                 in
+                 Array.iteri
+                   (fun i a -> Hashtbl.replace value_map a.vid nb.bargs.(i))
+                   b.bargs;
+                 (b, nb))
+               r.blocks
+           in
+           List.iter
+             (fun (b, nb) ->
+               List.iter
+                 (fun o -> append_op nb (clone_op ~value_map o))
+                 b.body)
+             blocks;
+           create_region ~blocks:(List.map snd blocks) ())
+    |> fun rs -> rs
+  in
+  let cloned =
+    create_op op.name
+      ~operands:(List.map map_value (operands op))
+      ~result_types:(List.map (fun r -> r.vty) (results op))
+      ~attrs:op.attrs ~regions
+  in
+  Array.iteri
+    (fun i r -> Hashtbl.replace value_map r.vid cloned.results.(i))
+    op.results;
+  cloned

@@ -1,0 +1,45 @@
+(** Pass management: named passes over a module, pipelines, statistics and
+    optional inter-pass verification — a small mirror of MLIR's
+    PassManager. *)
+
+(** Per-pass counters ("rewrites", "reduction.rewritten", ...). *)
+module Stats : sig
+  type t
+
+  val create : unit -> t
+  val bump : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  val pp : Format.formatter -> t -> unit
+end
+
+type t = {
+  pass_name : string;
+  run : Core.op -> Stats.t -> unit;
+}
+
+val make : string -> (Core.op -> Stats.t -> unit) -> t
+
+(** A pass running a function-level callback over every func.func. *)
+val on_functions : string -> (Core.op -> Stats.t -> unit) -> t
+
+exception
+  Pass_failed of {
+    pass : string;
+    diagnostics : Verifier.diag list;
+  }
+
+type pipeline_result = {
+  per_pass_stats : (string * Stats.t) list;
+  per_pass_time : (string * float) list;  (** seconds *)
+}
+
+(** Run a pipeline over a module. With [verify_each] (default), the
+    verifier runs after every pass and failures are attributed to the
+    pass that just ran; [dump_each] prints the module after each pass to
+    stderr. *)
+val run_pipeline :
+  ?verify_each:bool -> ?dump_each:bool -> t list -> Core.op -> pipeline_result
+
+(** All pass statistics merged into one table keyed ["pass/stat"]. *)
+val merged_stats : pipeline_result -> Stats.t

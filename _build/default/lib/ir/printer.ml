@@ -1,0 +1,127 @@
+(* Textual IR output in a generic, parseable form close to MLIR's generic
+   operation syntax:
+
+     %0, %1 = dialect.op(%a, %b) ({
+       ^bb0(%arg: i32):
+         ...
+     }) {key = value} : (i32, i32) -> (f32, f32)
+
+   The trailing function-type section is omitted for zero-operand,
+   zero-result ops; regions and attributes are omitted when empty. *)
+
+type env = {
+  buf : Buffer.t;
+  names : (int, string) Hashtbl.t;
+  mutable counter : int;
+}
+
+let value_name env (v : Core.value) =
+  match Hashtbl.find_opt env.names v.vid with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "%%%d" env.counter in
+    env.counter <- env.counter + 1;
+    Hashtbl.replace env.names v.vid n;
+    n
+
+let indent env level = Buffer.add_string env.buf (String.make (2 * level) ' ')
+
+let rec print_op env level (op : Core.op) =
+  indent env level;
+  (* Results *)
+  if Core.num_results op > 0 then begin
+    Buffer.add_string env.buf
+      (String.concat ", " (List.map (value_name env) (Core.results op)));
+    Buffer.add_string env.buf " = "
+  end;
+  Buffer.add_string env.buf op.name;
+  (* Operands *)
+  Buffer.add_char env.buf '(';
+  Buffer.add_string env.buf
+    (String.concat ", " (List.map (value_name env) (Core.operands op)));
+  Buffer.add_char env.buf ')';
+  (* Regions *)
+  if Core.num_regions op > 0 then begin
+    Buffer.add_string env.buf " (";
+    Array.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string env.buf ", ";
+        print_region env level r)
+      op.regions;
+    Buffer.add_char env.buf ')'
+  end;
+  (* Attributes, sorted for stable output *)
+  if op.attrs <> [] then begin
+    let attrs = List.sort (fun (a, _) (b, _) -> compare a b) op.attrs in
+    Buffer.add_string env.buf " {";
+    Buffer.add_string env.buf
+      (String.concat ", "
+         (List.map (fun (k, v) -> k ^ " = " ^ Attr.to_string v) attrs));
+    Buffer.add_char env.buf '}'
+  end;
+  (* Type signature *)
+  if Core.num_operands op > 0 || Core.num_results op > 0 then begin
+    Buffer.add_string env.buf " : (";
+    Buffer.add_string env.buf
+      (String.concat ", "
+         (List.map (fun v -> Types.to_string v.Core.vty) (Core.operands op)));
+    Buffer.add_string env.buf ") -> (";
+    Buffer.add_string env.buf
+      (String.concat ", "
+         (List.map (fun v -> Types.to_string v.Core.vty) (Core.results op)));
+    Buffer.add_char env.buf ')'
+  end
+
+and print_region env level (r : Core.region) =
+  Buffer.add_string env.buf "{\n";
+  List.iteri
+    (fun i b ->
+      (* Print the block header when the block has arguments or when the
+         region has several blocks (so the parser can reconstruct them). *)
+      if Array.length b.Core.bargs > 0 || List.length r.Core.blocks > 1 then begin
+        indent env level;
+        Buffer.add_string env.buf (Printf.sprintf "^bb%d(" i);
+        Buffer.add_string env.buf
+          (String.concat ", "
+             (List.map
+                (fun a ->
+                  value_name env a ^ ": " ^ Types.to_string a.Core.vty)
+                (Core.block_args b)));
+        Buffer.add_string env.buf "):\n"
+      end;
+      List.iter
+        (fun o ->
+          print_op env (level + 1) o;
+          Buffer.add_char env.buf '\n')
+        b.Core.body)
+    r.Core.blocks;
+  indent env level;
+  Buffer.add_char env.buf '}'
+
+let op_to_string ?(env = None) op =
+  let env =
+    match env with
+    | Some e -> e
+    | None -> { buf = Buffer.create 1024; names = Hashtbl.create 64; counter = 0 }
+  in
+  Buffer.clear env.buf;
+  print_op env 0 op;
+  Buffer.contents env.buf
+
+let to_string op = op_to_string op
+
+let print ?(out = stdout) op =
+  output_string out (to_string op);
+  output_char out '\n'
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+(** Short one-line description of an op, for diagnostics. *)
+let summary (op : Core.op) =
+  let env = { buf = Buffer.create 64; names = Hashtbl.create 8; counter = 0 } in
+  Buffer.add_string env.buf op.name;
+  Buffer.add_char env.buf '(';
+  Buffer.add_string env.buf
+    (String.concat ", " (List.map (value_name env) (Core.operands op)));
+  Buffer.add_char env.buf ')';
+  Buffer.contents env.buf

@@ -1,0 +1,122 @@
+(* Pattern rewriting: a small greedy pattern-application driver in the
+   spirit of MLIR's applyPatternsAndFoldGreedily, plus folding based on the
+   registry's fold hooks. *)
+
+type pattern = {
+  pat_name : string;
+  (* Returns true when it matched and rewrote the IR. *)
+  apply : Core.op -> bool;
+}
+
+let pattern pat_name apply = { pat_name; apply }
+
+(* Dialects register how to materialize a constant attribute as an op (in
+   practice: arith.constant). *)
+let constant_materializer :
+    (Builder.t -> Attr.t -> Types.t -> Core.value) option ref =
+  ref None
+
+let set_constant_materializer f = constant_materializer := Some f
+
+let materialize_constant builder attr ty =
+  match !constant_materializer with
+  | Some f -> f builder attr ty
+  | None -> invalid_arg "no constant materializer registered"
+
+(** The constant attribute produced by [op] if it is a registered,
+    foldable, zero-operand constant-like op. *)
+let constant_value (op : Core.op) : Attr.t option =
+  if Core.num_operands op = 0 && Core.num_results op = 1 then
+    match (Op_registry.info op).Op_registry.fold op [||] with
+    | Some (Op_registry.Fold_attrs [ a ]) -> Some a
+    | _ -> None
+  else None
+
+(** The constant attribute of [v]'s defining op, if constant-like. *)
+let constant_of_value (v : Core.value) : Attr.t option =
+  Option.bind (Core.defining_op v) constant_value
+
+(** Try to fold [op] in place: if every result folds to a constant or an
+    existing value, replace all uses and erase [op]. Returns true on
+    success. *)
+let try_fold (op : Core.op) : bool =
+  if Core.num_results op = 0 then false
+  else
+    let const_operands =
+      Array.map (fun v -> constant_of_value v) op.Core.operands
+    in
+    match (Op_registry.info op).Op_registry.fold op const_operands with
+    | None -> false
+    | Some (Op_registry.Fold_values vs) ->
+      List.iteri (fun i v -> Core.replace_all_uses_with (Core.result op i) v) vs;
+      Core.erase_op op;
+      true
+    | Some (Op_registry.Fold_attrs attrs) ->
+      if constant_value op <> None then
+        (* Already a constant op; nothing to do. *)
+        false
+      else begin
+        let builder = Builder.before op in
+        List.iteri
+          (fun i a ->
+            let v =
+              materialize_constant builder a (Core.result op i).Core.vty
+            in
+            Core.replace_all_uses_with (Core.result op i) v)
+          attrs;
+        Core.erase_op op;
+        true
+      end
+
+(** Erase [op] if it is pure (including nested ops) and unused. *)
+let erase_if_dead (op : Core.op) : bool =
+  if
+    (not (Op_registry.is_terminator op))
+    && Array.for_all (fun r -> not (Core.has_uses r)) op.Core.results
+    && Op_registry.is_pure op
+    && Core.num_results op > 0
+  then begin
+    (* Pure ops have no nested code with effects; safe to drop wholesale. *)
+    Core.walk op ~f:(fun o -> if not (o == op) then Core.erase_op_unsafe o);
+    Core.erase_op op;
+    true
+  end
+  else false
+
+(** Apply [patterns] plus folding greedily until fixpoint (bounded). The
+    scope is [top] and everything nested in it. Returns the number of
+    rewrites performed. *)
+let apply_greedily ?(max_iterations = 10) (top : Core.op) patterns =
+  let total = ref 0 in
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < max_iterations do
+    changed := false;
+    incr iter;
+    (* Snapshot the ops: patterns may mutate the IR. *)
+    let ops = ref [] in
+    Core.walk top ~f:(fun o -> if not (o == top) then ops := o :: !ops);
+    List.iter
+      (fun op ->
+        (* Skip ops that a previous rewrite already detached. *)
+        if op.Core.parent_block <> None then begin
+          if try_fold op then begin
+            changed := true;
+            incr total
+          end
+          else if erase_if_dead op then begin
+            changed := true;
+            incr total
+          end
+          else
+            List.iter
+              (fun p ->
+                if op.Core.parent_block <> None && p.apply op then begin
+                  changed := true;
+                  incr total
+                end)
+              patterns
+        end)
+      (List.rev !ops)
+  done;
+  !total

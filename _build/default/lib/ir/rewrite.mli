@@ -1,0 +1,36 @@
+(** Pattern rewriting: a greedy pattern-application driver in the spirit
+    of MLIR's [applyPatternsAndFoldGreedily], plus folding based on the
+    registry's fold hooks. *)
+
+type pattern = {
+  pat_name : string;
+  apply : Core.op -> bool;  (** true when it matched and rewrote *)
+}
+
+val pattern : string -> (Core.op -> bool) -> pattern
+
+(** Dialects register how to materialize a constant attribute as an op
+    (in practice: arith.constant). *)
+val set_constant_materializer :
+  (Builder.t -> Attr.t -> Types.t -> Core.value) -> unit
+
+val materialize_constant : Builder.t -> Attr.t -> Types.t -> Core.value
+
+(** The constant attribute produced by a registered, zero-operand,
+    constant-like op. *)
+val constant_value : Core.op -> Attr.t option
+
+(** The constant attribute of a value's defining op, if constant-like. *)
+val constant_of_value : Core.value -> Attr.t option
+
+(** Try to fold an op in place; on success all uses are replaced and the
+    op erased. *)
+val try_fold : Core.op -> bool
+
+(** Erase the op if it is pure (including nested ops) and unused. *)
+val erase_if_dead : Core.op -> bool
+
+(** Apply patterns plus folding and dead-op erasure greedily until a
+    fixpoint (bounded by [max_iterations]). Returns the number of
+    rewrites performed. *)
+val apply_greedily : ?max_iterations:int -> Core.op -> pattern list -> int

@@ -1,0 +1,101 @@
+(* IR verification: SSA visibility, block structure, per-op registered
+   invariants. Used by the pass manager between passes (when enabled) and
+   by tests. *)
+
+type diag = {
+  message : string;
+  culprit : Core.op option;
+}
+
+let diag_to_string d =
+  match d.culprit with
+  | None -> d.message
+  | Some op -> Printf.sprintf "%s (in %s)" d.message (Printer.summary op)
+
+exception Verification_failed of diag list
+
+let verify ?(allow_unregistered = true) (top : Core.op) =
+  let diags = ref [] in
+  let fail ?op fmt =
+    Printf.ksprintf (fun message -> diags := { message; culprit = op } :: !diags) fmt
+  in
+  let check_op op =
+    (* Operand visibility. *)
+    Array.iteri
+      (fun i v ->
+        if not (Dominance.value_visible_at v op) then
+          fail ~op "operand %d does not dominate its use" i)
+      op.Core.operands;
+    (* Registration and op-specific checks. *)
+    (match Op_registry.lookup op.Core.name with
+    | Some info -> (
+      match info.Op_registry.verify op with
+      | Ok () -> ()
+      | Error msg -> fail ~op "%s" msg)
+    | None ->
+      if not allow_unregistered then
+        fail ~op "unregistered operation '%s'" op.Core.name);
+    (* Region structure: every non-empty block in a code-bearing region
+       must end with a terminator when the op expects sequential bodies. *)
+    let info = Op_registry.info op in
+    (match info.Op_registry.control with
+    | Op_registry.Leaf -> ()
+    | Op_registry.Seq | Op_registry.Branch | Op_registry.Loop ->
+      Array.iter
+        (fun r ->
+          List.iter
+            (fun b ->
+              match List.rev b.Core.body with
+              | [] -> ()
+              | last :: _ ->
+                if
+                  (not (Op_registry.is_terminator last))
+                  && not (Core.is_module op)
+                then
+                  fail ~op:last "block does not end with a terminator"
+            )
+            r.Core.blocks)
+        op.Core.regions);
+    (* Use-list sanity: every operand's use list mentions this op. *)
+    Array.iteri
+      (fun i v ->
+        if not (List.exists (fun (o, j) -> o == op && i = j) v.Core.uses) then
+          fail ~op "use-list corruption for operand %d" i)
+      op.Core.operands
+  in
+  Core.walk top ~f:check_op;
+  match List.rev !diags with [] -> Ok () | ds -> Error ds
+
+let verify_exn ?allow_unregistered top =
+  match verify ?allow_unregistered top with
+  | Ok () -> ()
+  | Error ds -> raise (Verification_failed ds)
+
+(* Common per-op check helpers for dialects to build their verify hooks. *)
+
+let check_num_operands op n =
+  if Core.num_operands op = n then Ok ()
+  else
+    Error
+      (Printf.sprintf "expected %d operands, got %d" n (Core.num_operands op))
+
+let check_num_results op n =
+  if Core.num_results op = n then Ok ()
+  else
+    Error (Printf.sprintf "expected %d results, got %d" n (Core.num_results op))
+
+let check_num_regions op n =
+  if Core.num_regions op = n then Ok ()
+  else
+    Error (Printf.sprintf "expected %d regions, got %d" n (Core.num_regions op))
+
+let check_operand_type op i pred ~expected =
+  if i >= Core.num_operands op then
+    Error (Printf.sprintf "missing operand %d" i)
+  else if pred (Core.operand op i).Core.vty then Ok ()
+  else
+    Error
+      (Printf.sprintf "operand %d must be %s, got %s" i expected
+         (Types.to_string (Core.operand op i).Core.vty))
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e

@@ -1,0 +1,30 @@
+(** IR verification: SSA visibility, block structure (terminators),
+    use-list consistency and per-op registered invariants. *)
+
+type diag = {
+  message : string;
+  culprit : Core.op option;
+}
+
+val diag_to_string : diag -> string
+
+exception Verification_failed of diag list
+
+(** Verify an op and everything nested in it. With
+    [allow_unregistered = false], operations without a registry entry are
+    also reported. *)
+val verify : ?allow_unregistered:bool -> Core.op -> (unit, diag list) result
+
+val verify_exn : ?allow_unregistered:bool -> Core.op -> unit
+
+(** {2 Helpers for dialect verify hooks} *)
+
+val check_num_operands : Core.op -> int -> (unit, string) result
+val check_num_results : Core.op -> int -> (unit, string) result
+val check_num_regions : Core.op -> int -> (unit, string) result
+
+val check_operand_type :
+  Core.op -> int -> (Types.t -> bool) -> expected:string -> (unit, string) result
+
+(** Result-monad bind over [(unit, string) result]. *)
+val ( let* ) : (unit, 'e) result -> (unit -> (unit, 'e) result) -> (unit, 'e) result

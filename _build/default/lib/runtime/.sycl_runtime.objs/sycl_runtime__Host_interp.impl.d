@@ -1,0 +1,1 @@
+lib/runtime/host_interp.ml: Array Attr Bool Core Dialects Hashtbl List Mlir Objects Option Sycl_core Sycl_sim Types

@@ -1,0 +1,1 @@
+lib/runtime/host_interp.mli: Core Mlir Objects Sycl_sim

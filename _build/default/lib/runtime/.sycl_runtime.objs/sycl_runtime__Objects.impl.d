@@ -1,0 +1,1 @@
+lib/runtime/objects.ml: Array List Mlir Option Sycl_core Sycl_sim

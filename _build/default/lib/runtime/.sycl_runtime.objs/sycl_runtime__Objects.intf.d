@@ -1,0 +1,1 @@
+lib/runtime/objects.mli: Sycl_core Sycl_sim

@@ -1,0 +1,58 @@
+(** Host-program execution.
+
+    Interprets the raised host module (the sycl.host ops plus the
+    scalar/control ops the frontend emits around them), drives the
+    scheduler, performs host<->device transfers, and launches kernels on
+    the device simulator — accounting for every cost the evaluation
+    measures (scheduler bookkeeping, launch overhead per live argument,
+    transfers, device cycles, one-time JIT charges). *)
+
+open Mlir
+module Interp = Sycl_sim.Interp
+module Memory = Sycl_sim.Memory
+module Cost = Sycl_sim.Cost
+
+exception Host_error of string
+
+(** Host values. Host data arrays are passed as
+    [Scalar (Interp.Mem view)]. *)
+type hv =
+  | Scalar of Interp.rv
+  | Queue of Objects.queue
+  | Handler of Objects.handler
+  | Buffer of Objects.buffer
+  | Accessor of Objects.accessor
+  | Usm of Memory.allocation
+
+(** Runtime information handed to the JIT-specialization hook at the
+    first launch of each kernel (AdaptiveCpp configuration). *)
+type launch_info = {
+  li_global : int list;
+  li_wg : int list;
+  li_noalias_pairs : (int * int) list;
+  li_constant_args : int list;
+}
+
+type run_result = {
+  total_cycles : int;
+  device_cycles : int;
+  launch_overhead_cycles : int;
+  transfer_cycles : int;
+  scheduler_cycles : int;
+  jit_cycles : int;
+  kernel_launches : int;
+  dependency_edges : int;
+  per_kernel : (string * Cost.launch_stats) list;
+}
+
+(** Execute host function [main] of the module. [launch_hook], when
+    given, fires once per kernel at its first launch with the runtime
+    launch information; [jit_cycles] is charged at the same time. *)
+val run :
+  ?params:Cost.params ->
+  ?launch_hook:(Core.op -> launch_info -> unit) ->
+  ?jit_cycles:int ->
+  module_op:Core.op ->
+  ?main:string ->
+  hv list ->
+  run_result

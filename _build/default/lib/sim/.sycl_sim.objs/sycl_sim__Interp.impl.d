@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Affine_expr Array Attr Bool Core Cost Dialects Effect Float Hashtbl List Memory Mlir Option Printf Sycl_core Types

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Core Cost Effect Memory Mlir

@@ -1,0 +1,95 @@
+(* The GPU performance model. The Intel Data Center GPU Max 1100 of the
+   paper's testbed is replaced by a transaction-level cost model capturing
+   the effects the evaluated optimizations act on:
+
+   - memory-level: per-sub-group coalescing over cache lines, with
+     distinct latencies for global, work-group-local and constant-cached
+     memory (local memory is smaller but faster — Section II-A);
+   - kernel-launch overhead with a per-argument component (what SYCL Dead
+     Argument Elimination saves, Section VII-B);
+   - host<->device transfer costs per cache line;
+   - a JIT-compilation charge for AdaptiveCpp-style runtime compilation.
+
+   Absolute numbers are not meaningful; ratios are chosen so the relative
+   behaviour (who wins where) can reproduce the paper's shapes. *)
+
+type params = {
+  alu_cycles : int;
+  fdiv_cycles : int;  (* divide / sqrt / exp class *)
+  global_mem_cycles : int;  (* per coalesced transaction *)
+  local_mem_cycles : int;
+  const_mem_cycles : int;  (* constant-cached global data *)
+  cache_line_elems : int;  (* elements per transaction line *)
+  subgroup_size : int;
+  barrier_cycles : int;
+  launch_base_cycles : int;
+  launch_per_arg_cycles : int;
+  num_cu : int;  (* compute units executing work-groups in parallel *)
+  transfer_line_cycles : int;  (* host<->device per cache line *)
+  jit_compile_cycles : int;  (* AdaptiveCpp first-launch JIT *)
+  scheduler_cycles : int;  (* per command-group runtime bookkeeping *)
+}
+
+let default =
+  {
+    alu_cycles = 1;
+    fdiv_cycles = 8;
+    global_mem_cycles = 48;
+    local_mem_cycles = 6;
+    const_mem_cycles = 6;
+    cache_line_elems = 16;
+    subgroup_size = 16;
+    barrier_cycles = 24;
+    launch_base_cycles = 40_000;
+    launch_per_arg_cycles = 4_000;
+    num_cu = 32;
+    transfer_line_cycles = 8;
+    jit_compile_cycles = 20_000_000;
+    scheduler_cycles = 8_000;
+  }
+
+(** Statistics for one kernel launch (accumulated across work-groups). *)
+type launch_stats = {
+  mutable alu_ops : int;
+  mutable fdiv_ops : int;
+  mutable global_transactions : int;
+  mutable local_transactions : int;
+  mutable const_transactions : int;
+  mutable barriers : int;  (* work-group-level barrier occurrences *)
+  mutable work_groups : int;
+  mutable work_items : int;
+  mutable max_wg_cycles : int;
+  mutable total_wg_cycles : int;
+}
+
+let fresh_launch_stats () =
+  {
+    alu_ops = 0;
+    fdiv_ops = 0;
+    global_transactions = 0;
+    local_transactions = 0;
+    const_transactions = 0;
+    barriers = 0;
+    work_groups = 0;
+    work_items = 0;
+    max_wg_cycles = 0;
+    total_wg_cycles = 0;
+  }
+
+(** Device time of a launch: work-groups spread across compute units. *)
+let device_cycles (p : params) (s : launch_stats) =
+  if s.work_groups = 0 then 0
+  else max (s.total_wg_cycles / p.num_cu) s.max_wg_cycles
+
+let launch_overhead (p : params) ~(live_args : int) =
+  p.launch_base_cycles + (live_args * p.launch_per_arg_cycles)
+
+let transfer_cycles (p : params) ~(elems : int) =
+  (elems + p.cache_line_elems - 1) / p.cache_line_elems * p.transfer_line_cycles
+
+let pp_launch_stats fmt (s : launch_stats) =
+  Format.fprintf fmt
+    "alu=%d fdiv=%d mem(g=%d l=%d c=%d) barriers=%d wgs=%d items=%d cycles(total=%d max=%d)"
+    s.alu_ops s.fdiv_ops s.global_transactions s.local_transactions
+    s.const_transactions s.barriers s.work_groups s.work_items
+    s.total_wg_cycles s.max_wg_cycles

@@ -1,0 +1,55 @@
+(** The GPU performance model (the hardware stand-in — see DESIGN.md).
+
+    Captures exactly the effects the paper's optimizations act on:
+    per-sub-group cache-line coalescing with distinct latencies for
+    global / work-group-local / constant-cached memory, kernel-launch
+    overhead with a per-argument component, host<->device transfer costs,
+    and a one-time JIT charge for runtime-compiling configurations.
+    Absolute numbers are arbitrary; ratios shape the evaluation. *)
+
+type params = {
+  alu_cycles : int;
+  fdiv_cycles : int;  (** divide / sqrt / exp class *)
+  global_mem_cycles : int;  (** per coalesced transaction *)
+  local_mem_cycles : int;
+  const_mem_cycles : int;  (** constant-cached global data *)
+  cache_line_elems : int;  (** elements per transaction line *)
+  subgroup_size : int;
+  barrier_cycles : int;
+  launch_base_cycles : int;
+  launch_per_arg_cycles : int;
+  num_cu : int;  (** compute units executing work-groups in parallel *)
+  transfer_line_cycles : int;  (** host<->device, per cache line *)
+  jit_compile_cycles : int;  (** AdaptiveCpp first-launch JIT *)
+  scheduler_cycles : int;  (** per command-group runtime bookkeeping *)
+}
+
+val default : params
+
+(** Statistics for one kernel launch (accumulated across work-groups). *)
+type launch_stats = {
+  mutable alu_ops : int;
+  mutable fdiv_ops : int;
+  mutable global_transactions : int;
+  mutable local_transactions : int;
+  mutable const_transactions : int;
+  mutable barriers : int;
+  mutable work_groups : int;
+  mutable work_items : int;
+  mutable max_wg_cycles : int;
+  mutable total_wg_cycles : int;
+}
+
+val fresh_launch_stats : unit -> launch_stats
+
+(** Device time of a launch: work-groups spread across compute units,
+    floored at the slowest work-group. *)
+val device_cycles : params -> launch_stats -> int
+
+(** Launch overhead for the arguments the runtime actually passes. *)
+val launch_overhead : params -> live_args:int -> int
+
+(** Transfer cost, rounded up to whole cache lines. *)
+val transfer_cycles : params -> elems:int -> int
+
+val pp_launch_stats : Format.formatter -> launch_stats -> unit

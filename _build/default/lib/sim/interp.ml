@@ -1,0 +1,671 @@
+(* The GPU device simulator: executes kernel IR over an ND-range with
+   correct work-group semantics. Work-items of a work-group run as OCaml 5
+   effect-handler fibers; a group barrier suspends the fiber, and the
+   scheduler resumes all fibers of the group phase by phase — so the
+   cooperative local-memory prefetch produced by loop internalization
+   (Section VI-C) executes correctly, and a barrier in a divergent region
+   is detected as the deadlock it would be on hardware.
+
+   Costs are accumulated per work-group: ALU cycles per executed op,
+   memory transactions per (instruction, occurrence, sub-group) with
+   cache-line coalescing, and barrier costs. Private memory is treated as
+   registers (no memory cost), matching mem2reg-ed GPU code. *)
+
+open Mlir
+module Sycl_types = Sycl_core.Sycl_types
+module Sycl_ops = Sycl_core.Sycl_ops
+
+exception Sim_error of string
+
+exception Barrier_divergence
+
+type _ Effect.t += Barrier : unit Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Runtime values                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type acc_desc = {
+  a_alloc : Memory.allocation;
+  a_range : int array;  (* access range *)
+  a_mem_range : int array;  (* underlying buffer range *)
+  a_offset : int array;
+  a_is_float : bool;
+}
+
+type rv =
+  | I of int
+  | F of float
+  | Mem of Memory.view
+  | Acc of acc_desc
+  | Item  (** the item-like argument; queries read the work-item context *)
+  | Unit
+
+let as_int = function
+  | I i -> i
+  | F f -> int_of_float f
+  | _ -> raise (Sim_error "expected integer value")
+
+let as_float = function
+  | F f -> f
+  | I i -> float_of_int i
+  | _ -> raise (Sim_error "expected float value")
+
+let as_mem = function Mem v -> v | _ -> raise (Sim_error "expected memref value")
+let as_acc = function Acc a -> a | _ -> raise (Sim_error "expected accessor value")
+
+(* ------------------------------------------------------------------ *)
+(* Execution contexts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type wg_ctx = {
+  params : Cost.params;
+  stats : Cost.launch_stats;
+  locals : (int, Memory.allocation) Hashtbl.t;  (* gpu.alloc_local slot *)
+  (* (op id, occurrence, subgroup) -> set of (alloc id, line, class) *)
+  mem_table : (int * int * int, (int * int * int, unit) Hashtbl.t) Hashtbl.t;
+  mutable wg_alu : int;
+  mutable wg_fdiv : int;
+  mutable wg_barriers : int;
+}
+
+type wi_ctx = {
+  wg : wg_ctx;
+  gid : int array;
+  lid : int array;
+  grp : int array;
+  global_range : int array;
+  local_range : int array;
+  group_range : int array;
+  subgroup : int;
+  env : (int, rv) Hashtbl.t;
+  occ : (int, int) Hashtbl.t;
+  funcs : (string, Core.op) Hashtbl.t;  (* device functions by symbol *)
+}
+
+let lookup ctx (v : Core.value) =
+  match Hashtbl.find_opt ctx.env v.Core.vid with
+  | Some rv -> rv
+  | None -> raise (Sim_error ("use of unbound SSA value in simulator"))
+
+let bind ctx (v : Core.value) rv = Hashtbl.replace ctx.env v.Core.vid rv
+
+let alu ctx = ctx.wg.wg_alu <- ctx.wg.wg_alu + 1
+let fdiv ctx = ctx.wg.wg_fdiv <- ctx.wg.wg_fdiv + 1
+
+(* Latency class: 0 = global, 1 = local, 2 = constant-cached. *)
+let latency_class (a : Memory.allocation) =
+  match a.Memory.space with
+  | Types.Local -> 1
+  | Types.Private -> 3 (* never recorded *)
+  | Types.Global -> if a.Memory.constant_cached then 2 else 0
+
+let record_access ctx (op : Core.op) (view : Memory.view) (idx : int list) =
+  match view.Memory.base.Memory.space with
+  | Types.Private -> alu ctx
+  | _ ->
+    let lin = Memory.linear_index view idx in
+    let line = lin / ctx.wg.params.Cost.cache_line_elems in
+    let occ = Option.value ~default:0 (Hashtbl.find_opt ctx.occ op.Core.oid) in
+    Hashtbl.replace ctx.occ op.Core.oid (occ + 1);
+    let key = (op.Core.oid, occ, ctx.subgroup) in
+    let tbl =
+      match Hashtbl.find_opt ctx.wg.mem_table key with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace ctx.wg.mem_table key t;
+        t
+    in
+    let a = view.Memory.base in
+    Hashtbl.replace tbl (a.Memory.aid, line, latency_class a) ()
+
+(* ------------------------------------------------------------------ *)
+(* SYCL struct storage helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_size_of_type (ty : Types.t) =
+  match ty with
+  | Types.Memref { shape; element; _ } ->
+    let prod =
+      List.fold_left
+        (fun acc d -> acc * match d with Some n -> n | None -> 1)
+        1 shape
+    in
+    let cells = Sycl_types.flat_cells element in
+    let scalar_dims =
+      List.map (fun d -> match d with Some n -> n | None -> 1) shape
+    in
+    (prod * cells, if cells = 1 then Array.of_list scalar_dims else [| prod * cells |])
+  | _ -> raise (Sim_error "alloca of non-memref type")
+
+let element_is_float (ty : Types.t) =
+  match ty with
+  | Types.Memref { element; _ } -> Types.is_float element
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Op evaluation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let getter_dim ctx (op : Core.op) =
+  if Core.num_operands op >= 2 then as_int (lookup ctx (Core.operand op 1)) else 0
+
+let cell_of_rv = function
+  | F f -> Memory.F f
+  | I i -> Memory.I i
+  | _ -> raise (Sim_error "cannot store non-scalar value")
+
+let rv_of_cell ~is_float (c : Memory.cell) =
+  match c with
+  | Memory.F f -> if is_float then F f else I (int_of_float f)
+  | Memory.I i -> if is_float then F (float_of_int i) else I i
+
+let subscript_view ctx (op : Core.op) =
+  let acc = as_acc (lookup ctx (Core.operand op 0)) in
+  let ids =
+    match List.tl (Core.operands op) with
+    | [ single ] -> (
+      match lookup ctx single with
+      | I i -> [ i ]
+      | Mem v ->
+        (* An id struct in private memory: one cell per dimension. *)
+        List.init (Array.length acc.a_range) (fun d ->
+            Memory.cell_to_int (Memory.read v [ d ]))
+      | _ -> raise (Sim_error "bad subscript index"))
+    | many ->
+      (* Direct form: one index operand per dimension. *)
+      List.map (fun v -> as_int (lookup ctx v)) many
+  in
+  (* Linearize against the *memory* range with the accessor offset. *)
+  let n = Array.length acc.a_mem_range in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * acc.a_mem_range.(i + 1)
+  done;
+  let lin = ref 0 in
+  List.iteri
+    (fun d i ->
+      let off = if d < Array.length acc.a_offset then acc.a_offset.(d) else 0 in
+      lin := !lin + ((i + off) * strides.(d)))
+    ids;
+  {
+    Memory.base = acc.a_alloc;
+    Memory.offset = !lin;
+    Memory.dims = [| 1 |];
+    Memory.strides = [| 1 |];
+  }
+
+let rec exec_block ctx (b : Core.block) : rv list =
+  let rec go = function
+    | [] -> []
+    | op :: rest -> (
+      match exec_op ctx op with
+      | `Next -> go rest
+      | `Yield vs -> vs)
+  in
+  go b.Core.body
+
+and exec_region ctx (r : Core.region) : rv list =
+  exec_block ctx (Core.entry_block r)
+
+and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
+  let operand i = lookup ctx (Core.operand op i) in
+  let bind_result i rv = bind ctx (Core.result op i) rv in
+  let int2 f =
+    alu ctx;
+    bind_result 0 (I (f (as_int (operand 0)) (as_int (operand 1))));
+    `Next
+  in
+  let float2 f =
+    alu ctx;
+    bind_result 0 (F (f (as_float (operand 0)) (as_float (operand 1))));
+    `Next
+  in
+  match op.Core.name with
+  | "arith.constant" -> (
+    match Core.attr op "value" with
+    | Some (Attr.Int i) -> bind_result 0 (I i); `Next
+    | Some (Attr.Float f) -> bind_result 0 (F f); `Next
+    | Some (Attr.Bool b) -> bind_result 0 (I (Bool.to_int b)); `Next
+    | _ -> raise (Sim_error "arith.constant without numeric value"))
+  | "arith.addi" -> int2 ( + )
+  | "arith.subi" -> int2 ( - )
+  | "arith.muli" -> int2 ( * )
+  | "arith.divsi" -> fdiv ctx; bind_result 0 (I (as_int (operand 0) / as_int (operand 1))); `Next
+  | "arith.remsi" -> fdiv ctx; bind_result 0 (I (as_int (operand 0) mod as_int (operand 1))); `Next
+  | "arith.andi" -> int2 ( land )
+  | "arith.ori" -> int2 ( lor )
+  | "arith.xori" -> int2 ( lxor )
+  | "arith.minsi" -> int2 min
+  | "arith.maxsi" -> int2 max
+  | "arith.addf" -> float2 ( +. )
+  | "arith.subf" -> float2 ( -. )
+  | "arith.mulf" -> float2 ( *. )
+  | "arith.divf" -> fdiv ctx; bind_result 0 (F (as_float (operand 0) /. as_float (operand 1))); `Next
+  | "arith.minimumf" -> float2 Float.min
+  | "arith.maximumf" -> float2 Float.max
+  | "arith.negf" ->
+    alu ctx;
+    bind_result 0 (F (-.as_float (operand 0)));
+    `Next
+  | "arith.cmpi" ->
+    alu ctx;
+    let p =
+      match Dialects.Arith.icmp_predicate op with
+      | Some p -> p
+      | None -> raise (Sim_error "cmpi without predicate")
+    in
+    bind_result 0
+      (I (Bool.to_int (Dialects.Arith.eval_icmp p (as_int (operand 0)) (as_int (operand 1)))));
+    `Next
+  | "arith.cmpf" ->
+    alu ctx;
+    let p =
+      match Option.bind (Core.attr_string op "predicate") Dialects.Arith.fcmp_pred_of_string with
+      | Some p -> p
+      | None -> raise (Sim_error "cmpf without predicate")
+    in
+    bind_result 0
+      (I (Bool.to_int (Dialects.Arith.eval_fcmp p (as_float (operand 0)) (as_float (operand 1)))));
+    `Next
+  | "arith.select" ->
+    alu ctx;
+    bind_result 0 (if as_int (operand 0) <> 0 then operand 1 else operand 2);
+    `Next
+  | "arith.index_cast" ->
+    bind_result 0 (I (as_int (operand 0)));
+    `Next
+  | "arith.sitofp" ->
+    alu ctx;
+    bind_result 0 (F (float_of_int (as_int (operand 0))));
+    `Next
+  | "arith.fptosi" ->
+    alu ctx;
+    bind_result 0 (I (int_of_float (as_float (operand 0))));
+    `Next
+  | "math.sqrt" -> fdiv ctx; bind_result 0 (F (Float.sqrt (as_float (operand 0)))); `Next
+  | "math.exp" -> fdiv ctx; bind_result 0 (F (Float.exp (as_float (operand 0)))); `Next
+  | "math.absf" -> alu ctx; bind_result 0 (F (Float.abs (as_float (operand 0)))); `Next
+  | "memref.alloca" | "memref.alloc" ->
+    let size, dims = alloc_size_of_type (Core.result op 0).Core.vty in
+    let space =
+      match (Core.result op 0).Core.vty with
+      | Types.Memref { space; _ } -> space
+      | _ -> Types.Private
+    in
+    let a = Memory.alloc ~label:"device-alloc" ~space ~size () in
+    bind_result 0 (Mem (Memory.full_view ~dims a));
+    `Next
+  | "gpu.alloc_local" -> (
+    let slot = Option.value ~default:0 (Core.attr_int op "slot") in
+    let size, dims = alloc_size_of_type (Core.result op 0).Core.vty in
+    match Hashtbl.find_opt ctx.wg.locals slot with
+    | Some a -> bind_result 0 (Mem (Memory.full_view ~dims a)); `Next
+    | None ->
+      let a = Memory.alloc ~label:"wg-local" ~space:Types.Local ~size () in
+      Hashtbl.replace ctx.wg.locals slot a;
+      bind_result 0 (Mem (Memory.full_view ~dims a));
+      `Next)
+  | "memref.load" ->
+    let view = as_mem (operand 0) in
+    let idx = List.map (fun v -> as_int (lookup ctx v)) (List.tl (Core.operands op)) in
+    record_access ctx op view idx;
+    bind_result 0
+      (rv_of_cell ~is_float:(element_is_float (Core.operand op 0).Core.vty)
+         (Memory.read view idx));
+    `Next
+  | "memref.store" ->
+    let value = operand 0 in
+    let view = as_mem (operand 1) in
+    let idx =
+      List.map (fun v -> as_int (lookup ctx v))
+        (List.filteri (fun i _ -> i >= 2) (Core.operands op))
+    in
+    record_access ctx op view idx;
+    Memory.write view idx (cell_of_rv value);
+    `Next
+  | "memref.dim" ->
+    let view = as_mem (operand 0) in
+    let d = as_int (operand 1) in
+    bind_result 0 (I view.Memory.dims.(d));
+    `Next
+  | "memref.dealloc" -> `Next
+  | "affine.apply" ->
+    alu ctx;
+    let m = Dialects.Affine_ops.access_map op in
+    let dims = Array.of_list (List.map (fun v -> as_int (lookup ctx v)) (Core.operands op)) in
+    (match Affine_expr.Map.eval m ~dims ~syms:[||] with
+    | [ r ] -> bind_result 0 (I r); `Next
+    | _ -> raise (Sim_error "affine.apply with multiple results"))
+  | "affine.load" ->
+    let view = as_mem (operand 0) in
+    let m = Dialects.Affine_ops.access_map op in
+    let dims =
+      Array.of_list
+        (List.map (fun v -> as_int (lookup ctx v))
+           (List.filteri (fun i _ -> i >= 1) (Core.operands op)))
+    in
+    let idx = Affine_expr.Map.eval m ~dims ~syms:[||] in
+    record_access ctx op view idx;
+    bind_result 0
+      (rv_of_cell ~is_float:(element_is_float (Core.operand op 0).Core.vty)
+         (Memory.read view idx));
+    `Next
+  | "affine.store" ->
+    let value = operand 0 in
+    let view = as_mem (operand 1) in
+    let m = Dialects.Affine_ops.access_map op in
+    let dims =
+      Array.of_list
+        (List.map (fun v -> as_int (lookup ctx v))
+           (List.filteri (fun i _ -> i >= 2) (Core.operands op)))
+    in
+    let idx = Affine_expr.Map.eval m ~dims ~syms:[||] in
+    record_access ctx op view idx;
+    Memory.write view idx (cell_of_rv value);
+    `Next
+  | "scf.for" ->
+    let lb = as_int (operand 0) and ub = as_int (operand 1) and step = as_int (operand 2) in
+    if step <= 0 then raise (Sim_error "scf.for with non-positive step");
+    let body = Dialects.Scf.for_body op in
+    let iv = Core.block_arg body 0 in
+    let iter_args = Dialects.Scf.for_iter_args op in
+    let inits = List.map (fun v -> lookup ctx v) (Dialects.Scf.for_iter_inits op) in
+    let rec iterate i acc =
+      if i >= ub then acc
+      else begin
+        alu ctx;
+        bind ctx iv (I i);
+        List.iter2 (fun a v -> bind ctx a v) iter_args acc;
+        let yielded = exec_block ctx body in
+        iterate (i + step) yielded
+      end
+    in
+    let final = iterate lb inits in
+    List.iteri (fun i rv -> bind_result i rv) final;
+    `Next
+  | "affine.for" ->
+    let eval_bound map operands =
+      let dims =
+        Array.of_list (List.map (fun v -> as_int (lookup ctx v)) operands)
+      in
+      match Affine_expr.Map.eval map ~dims ~syms:[||] with
+      | [ r ] -> r
+      | _ -> raise (Sim_error "affine.for bound with multiple results")
+    in
+    let lb = eval_bound (Dialects.Affine_ops.for_lb_map op) (Dialects.Affine_ops.for_lb_operands op) in
+    let ub = eval_bound (Dialects.Affine_ops.for_ub_map op) (Dialects.Affine_ops.for_ub_operands op) in
+    let step = Dialects.Affine_ops.for_step op in
+    let body = Dialects.Affine_ops.for_body op in
+    let iv = Core.block_arg body 0 in
+    let iter_args = Dialects.Affine_ops.for_iter_args op in
+    let inits = List.map (fun v -> lookup ctx v) (Dialects.Affine_ops.for_iter_inits op) in
+    let rec iterate i acc =
+      if i >= ub then acc
+      else begin
+        alu ctx;
+        bind ctx iv (I i);
+        List.iter2 (fun a v -> bind ctx a v) iter_args acc;
+        let yielded = exec_block ctx body in
+        iterate (i + step) yielded
+      end
+    in
+    let final = iterate lb inits in
+    List.iteri (fun i rv -> bind_result i rv) final;
+    `Next
+  | "scf.if" ->
+    alu ctx;
+    let c = as_int (operand 0) <> 0 in
+    let results =
+      if c then exec_region ctx op.Core.regions.(0)
+      else if Core.num_regions op > 1 then exec_region ctx op.Core.regions.(1)
+      else []
+    in
+    List.iteri (fun i rv -> bind_result i rv) results;
+    `Next
+  | "scf.yield" | "affine.yield" ->
+    `Yield (List.map (fun v -> lookup ctx v) (Core.operands op))
+  | "func.return" -> `Yield (List.map (fun v -> lookup ctx v) (Core.operands op))
+  | "func.call" -> (
+    match Core.attr_symbol op "callee" with
+    | Some callee -> (
+      match Hashtbl.find_opt ctx.funcs callee with
+      | Some f ->
+        let body = Core.func_body f in
+        List.iteri
+          (fun i a -> bind ctx a (lookup ctx (Core.operand op i)))
+          (Core.block_args body);
+        let results = exec_block ctx body in
+        List.iteri (fun i rv -> bind_result i rv) results;
+        `Next
+      | None -> raise (Sim_error ("call to unknown device function " ^ callee)))
+    | None -> raise (Sim_error "call without callee"))
+  | "gpu.barrier" | "sycl.group_barrier" ->
+    Effect.perform Barrier;
+    `Next
+  (* --- SYCL getters --- *)
+  | "sycl.item.get_id" | "sycl.nd_item.get_global_id" ->
+    alu ctx;
+    bind_result 0 (I ctx.gid.(getter_dim ctx op));
+    `Next
+  | "sycl.nd_item.get_local_id" ->
+    alu ctx;
+    bind_result 0 (I ctx.lid.(getter_dim ctx op));
+    `Next
+  | "sycl.nd_item.get_group_id" ->
+    alu ctx;
+    bind_result 0 (I ctx.grp.(getter_dim ctx op));
+    `Next
+  | "sycl.item.get_range" | "sycl.nd_item.get_global_range" ->
+    alu ctx;
+    bind_result 0 (I ctx.global_range.(getter_dim ctx op));
+    `Next
+  | "sycl.nd_item.get_local_range" ->
+    alu ctx;
+    bind_result 0 (I ctx.local_range.(getter_dim ctx op));
+    `Next
+  | "sycl.item.get_linear_id" ->
+    alu ctx;
+    let lin = ref 0 in
+    Array.iteri (fun d g -> lin := (!lin * ctx.global_range.(d)) + g) ctx.gid;
+    bind_result 0 (I !lin);
+    `Next
+  | "sycl.id.get" | "sycl.range.get" ->
+    alu ctx;
+    let v = as_mem (operand 0) in
+    bind_result 0 (I (Memory.cell_to_int (Memory.read v [ getter_dim ctx op ])));
+    `Next
+  | "sycl.constructor" ->
+    let out = as_mem (operand 0) in
+    List.iteri
+      (fun i v ->
+        alu ctx;
+        Memory.write out [ i ] (Memory.I (as_int (lookup ctx v))))
+      (Sycl_ops.constructor_args op);
+    `Next
+  | "sycl.accessor.subscript" ->
+    alu ctx;
+    bind_result 0 (Mem (subscript_view ctx op));
+    `Next
+  | "sycl.accessor.get_range" ->
+    alu ctx;
+    bind_result 0 (I (as_acc (operand 0)).a_range.(getter_dim ctx op));
+    `Next
+  | "sycl.accessor.get_mem_range" ->
+    alu ctx;
+    bind_result 0 (I (as_acc (operand 0)).a_mem_range.(getter_dim ctx op));
+    `Next
+  | "sycl.accessor.get_offset" ->
+    alu ctx;
+    bind_result 0 (I (as_acc (operand 0)).a_offset.(getter_dim ctx op));
+    `Next
+  | "sycl.accessor.distinct" ->
+    alu ctx;
+    let a = as_acc (operand 0) and b = as_acc (operand 1) in
+    bind_result 0 (I (Bool.to_int (a.a_alloc.Memory.aid <> b.a_alloc.Memory.aid)));
+    `Next
+  | name -> raise (Sim_error ("device simulator: unsupported op " ^ name))
+
+(* ------------------------------------------------------------------ *)
+(* Work-group and launch scheduling                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fiber_status =
+  | Fiber_done
+  | Fiber_at_barrier of (unit, fiber_status) Effect.Deep.continuation
+
+let fiber_handler : (unit, fiber_status) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = (fun () -> Fiber_done);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Barrier ->
+          Some
+            (fun (k : (a, fiber_status) Effect.Deep.continuation) ->
+              Fiber_at_barrier k)
+        | _ -> None);
+  }
+
+let run_workgroup (wg : wg_ctx) (thunks : (unit -> unit) list) =
+  let statuses =
+    List.map (fun t -> Effect.Deep.match_with t () fiber_handler) thunks
+  in
+  let rec rounds statuses =
+    let done_count = List.length (List.filter (fun s -> s = Fiber_done) statuses) in
+    if done_count = List.length statuses then ()
+    else if done_count > 0 then raise Barrier_divergence
+    else begin
+      wg.wg_barriers <- wg.wg_barriers + 1;
+      let next =
+        List.map
+          (fun s ->
+            match s with
+            | Fiber_at_barrier k -> Effect.Deep.continue k ()
+            | Fiber_done -> Fiber_done)
+          statuses
+      in
+      rounds next
+    end
+  in
+  rounds statuses
+
+(** Flush a work-group's bookkeeping into the launch statistics. *)
+let flush_wg (wg : wg_ctx) (n_items : int) =
+  let s = wg.stats in
+  let p = wg.params in
+  let g = ref 0 and l = ref 0 and c = ref 0 in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun (_, _, cls) () ->
+          match cls with 0 -> incr g | 1 -> incr l | _ -> incr c)
+        tbl)
+    wg.mem_table;
+  s.Cost.global_transactions <- s.Cost.global_transactions + !g;
+  s.Cost.local_transactions <- s.Cost.local_transactions + !l;
+  s.Cost.const_transactions <- s.Cost.const_transactions + !c;
+  s.Cost.alu_ops <- s.Cost.alu_ops + wg.wg_alu;
+  s.Cost.fdiv_ops <- s.Cost.fdiv_ops + wg.wg_fdiv;
+  s.Cost.barriers <- s.Cost.barriers + wg.wg_barriers;
+  s.Cost.work_groups <- s.Cost.work_groups + 1;
+  s.Cost.work_items <- s.Cost.work_items + n_items;
+  let wg_cycles =
+    ((wg.wg_alu * p.Cost.alu_cycles) + (wg.wg_fdiv * p.Cost.fdiv_cycles))
+    / max 1 p.Cost.subgroup_size
+    + (!g * p.Cost.global_mem_cycles)
+    + (!l * p.Cost.local_mem_cycles)
+    + (!c * p.Cost.const_mem_cycles)
+    + (wg.wg_barriers * p.Cost.barrier_cycles)
+  in
+  s.Cost.total_wg_cycles <- s.Cost.total_wg_cycles + wg_cycles;
+  if wg_cycles > s.Cost.max_wg_cycles then s.Cost.max_wg_cycles <- wg_cycles
+
+(** Launch [kernel] over [global]/[wg_size]. [args.(i)] binds kernel
+    argument i; the item-like argument must be bound to [Item]. Returns
+    the accumulated launch statistics. *)
+let launch ?(params = Cost.default) ~(module_op : Core.op) ~(kernel : Core.op)
+    ~(args : rv array) ~(global : int list) ~(wg_size : int list) () :
+    Cost.launch_stats =
+  let stats = Cost.fresh_launch_stats () in
+  let global = Array.of_list global and wg_size = Array.of_list wg_size in
+  let nd = Array.length global in
+  Array.iteri
+    (fun d g ->
+      if wg_size.(d) <= 0 || g mod wg_size.(d) <> 0 then
+        raise
+          (Sim_error
+             (Printf.sprintf
+                "global range %d not divisible by work-group size %d" g
+                wg_size.(d))))
+    global;
+  let group_range = Array.init nd (fun d -> global.(d) / wg_size.(d)) in
+  let funcs = Hashtbl.create 8 in
+  List.iter
+    (fun f -> Hashtbl.replace funcs (Core.func_sym f) f)
+    (Core.funcs module_op);
+  let body = Core.func_body kernel in
+  let params_list = Core.block_args body in
+  (* Iterate over all work-groups. *)
+  let n_groups = Array.fold_left ( * ) 1 group_range in
+  let items_per_group = Array.fold_left ( * ) 1 wg_size in
+  let unflatten range lin =
+    let idx = Array.make nd 0 in
+    let rest = ref lin in
+    for d = nd - 1 downto 0 do
+      idx.(d) <- !rest mod range.(d);
+      rest := !rest / range.(d)
+    done;
+    idx
+  in
+  for g = 0 to n_groups - 1 do
+    let grp = unflatten group_range g in
+    let wg =
+      {
+        params;
+        stats;
+        locals = Hashtbl.create 4;
+        mem_table = Hashtbl.create 256;
+        wg_alu = 0;
+        wg_fdiv = 0;
+        wg_barriers = 0;
+      }
+    in
+    let thunks =
+      List.init items_per_group (fun li ->
+          let lid = unflatten wg_size li in
+          let gid = Array.init nd (fun d -> (grp.(d) * wg_size.(d)) + lid.(d)) in
+          let lin_lid =
+            let l = ref 0 in
+            Array.iteri (fun d x -> l := (!l * wg_size.(d)) + x) lid;
+            !l
+          in
+          let ctx =
+            {
+              wg;
+              gid;
+              lid;
+              grp;
+              global_range = global;
+              local_range = wg_size;
+              group_range;
+              subgroup = lin_lid / params.Cost.subgroup_size;
+              env = Hashtbl.create 64;
+              occ = Hashtbl.create 16;
+              funcs;
+            }
+          in
+          fun () ->
+            List.iteri
+              (fun i p ->
+                if i < Array.length args then bind ctx p args.(i)
+                else raise (Sim_error "missing kernel argument"))
+              params_list;
+            ignore (exec_block ctx body))
+    in
+    run_workgroup wg thunks;
+    flush_wg wg items_per_group
+  done;
+  stats

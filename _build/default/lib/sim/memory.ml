@@ -1,0 +1,82 @@
+(* Simulated device memory: allocations are cell arrays addressed at
+   element granularity; views carry offset/shape/stride descriptors
+   (memref semantics). SYCL struct types (id, range, item) occupy
+   [Sycl_types.flat_cells] integer cells. *)
+
+open Mlir
+
+type cell =
+  | I of int
+  | F of float
+
+type allocation = {
+  aid : int;
+  space : Types.memspace;
+  data : cell array;
+  (* Host-constant data propagated by the host-device analysis: reads go
+     through the constant cache. *)
+  mutable constant_cached : bool;
+  label : string;
+}
+
+let next_aid =
+  let c = ref 0 in
+  fun () -> incr c; !c
+
+let alloc ?(label = "") ?(space = Types.Global) ~(size : int) () =
+  { aid = next_aid (); space; data = Array.make (max size 1) (F 0.0);
+    constant_cached = false; label }
+
+let alloc_ints ?label ?space size =
+  let a = alloc ?label ?space ~size () in
+  Array.fill a.data 0 (Array.length a.data) (I 0);
+  a
+
+(** A memref-style view: element [i0, i1, ...] lives at
+    [offset + sum(strides.(k) * ik)] in [alloc.data]. *)
+type view = {
+  base : allocation;
+  offset : int;
+  dims : int array;
+  strides : int array;
+}
+
+let full_view ?(dims = [||]) (a : allocation) =
+  let dims = if dims = [||] then [| Array.length a.data |] else dims in
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { base = a; offset = 0; dims; strides }
+
+exception Out_of_bounds of string
+
+let linear_index (v : view) (idx : int list) =
+  let i = ref v.offset in
+  List.iteri
+    (fun k x ->
+      if k >= Array.length v.strides then
+        raise (Out_of_bounds (Printf.sprintf "rank mismatch on %s" v.base.label));
+      i := !i + (x * v.strides.(k)))
+    idx;
+  if !i < 0 || !i >= Array.length v.base.data then
+    raise
+      (Out_of_bounds
+         (Printf.sprintf "index %d out of bounds for %s (size %d)" !i
+            v.base.label (Array.length v.base.data)))
+  else !i
+
+let read (v : view) (idx : int list) =
+  v.base.data.(linear_index v idx)
+
+let write (v : view) (idx : int list) (c : cell) =
+  v.base.data.(linear_index v idx) <- c
+
+let cell_to_float = function F f -> f | I i -> float_of_int i
+let cell_to_int = function I i -> i | F f -> int_of_float f
+
+(** Copy [n] elements between allocations (host<->device transfers). *)
+let blit ~(src : view) ~(dst : view) n =
+  let si = src.offset and di = dst.offset in
+  Array.blit src.base.data si dst.base.data di n

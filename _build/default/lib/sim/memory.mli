@@ -1,0 +1,55 @@
+(** Simulated device memory.
+
+    Allocations are element-granular cell arrays tagged with a memory
+    space; views carry offset/shape/stride descriptors (memref
+    semantics). SYCL struct types (id, range, item) occupy
+    [Sycl_types.flat_cells] integer cells when stored. *)
+
+open Mlir
+
+type cell =
+  | I of int
+  | F of float
+
+type allocation = {
+  aid : int;  (** unique id (used by the coalescing tables) *)
+  space : Types.memspace;
+  data : cell array;
+  mutable constant_cached : bool;
+      (** set when compiler/runtime information proves the data constant;
+          reads then use the constant-cache latency class *)
+  label : string;
+}
+
+val alloc :
+  ?label:string -> ?space:Types.memspace -> size:int -> unit -> allocation
+
+(** Like {!alloc} with integer-zero initialization. *)
+val alloc_ints : ?label:string -> ?space:Types.memspace -> int -> allocation
+
+(** A memref-style view: element [(i0, i1, ...)] lives at
+    [offset + sum(strides.(k) * ik)] in [base.data]. *)
+type view = {
+  base : allocation;
+  offset : int;
+  dims : int array;
+  strides : int array;
+}
+
+(** Whole-allocation view; [dims] defaults to one flat dimension and
+    strides are derived row-major. *)
+val full_view : ?dims:int array -> allocation -> view
+
+exception Out_of_bounds of string
+
+(** Linear cell index of a multi-dimensional access (checked). *)
+val linear_index : view -> int list -> int
+
+val read : view -> int list -> cell
+val write : view -> int list -> cell -> unit
+
+val cell_to_float : cell -> float
+val cell_to_int : cell -> int
+
+(** Copy [n] elements between allocations (host<->device transfers). *)
+val blit : src:view -> dst:view -> int -> unit

@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Array Core Dialects Float List Mlir Pass Random Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

@@ -1,0 +1,1 @@
+lib/workloads/extensions.ml: Array Common Core Dialects Host Kernel List Mlir Sycl_core Sycl_types Types

@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Array Attr Common Core Dialects Float Host Kernel List Mlir Sycl_sim Sycl_types Types

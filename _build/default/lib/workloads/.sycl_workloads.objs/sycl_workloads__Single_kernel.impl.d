@@ -1,0 +1,1 @@
+lib/workloads/single_kernel.ml: Array Attr Common Core Dialects Host Kernel Mlir Random Sycl_sim Sycl_types Types

@@ -1,0 +1,1 @@
+lib/workloads/stencil.ml: Array Common Core Dialects Host Kernel Mlir Random Sycl_types Types

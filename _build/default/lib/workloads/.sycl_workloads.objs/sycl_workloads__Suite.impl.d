@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Common Extensions List Option Polybench Printf Single_kernel Stencil String

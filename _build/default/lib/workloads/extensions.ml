@@ -1,0 +1,189 @@
+(* Workloads for the extensions beyond the paper's evaluated compiler —
+   currently the compile-time kernel fusion of Section VII's outlook. *)
+
+open Mlir
+open Common
+module K = Kernel
+module S = Sycl_types
+
+let f32 = Types.f32
+let mem = Types.memref_dyn f32
+
+(* An element-wise producer/consumer chain: t = a + b; u = t * t;
+   out = u - a. Three launches, two intermediate buffers — exactly the
+   pattern runtime fusion targeted in Pérez et al. [16]. *)
+let elementwise_chain ~n =
+  let w_module () =
+    let m = fresh_module () in
+    let ew name nargs body =
+      ignore
+        (K.define m ~name ~dims:1
+           ~args:(List.init nargs (fun i ->
+                      K.Acc (1, (if i = nargs - 1 then S.Write else S.Read), f32)))
+           (fun b ~item ~args ->
+             let i = K.gid b item 0 in
+             let get a = K.acc_get b a [ i ] in
+             let out = List.nth args (nargs - 1) in
+             K.acc_set b out [ i ] (body b get args)))
+    in
+    ew "chain_add" 3 (fun b get args ->
+        K.addf b (get (List.nth args 0)) (get (List.nth args 1)));
+    ew "chain_sq" 2 (fun b get args ->
+        let t = get (List.nth args 0) in
+        K.mulf b t t);
+    ew "chain_sub" 3 (fun b get args ->
+        K.subf b (get (List.nth args 0)) (get (List.nth args 1)));
+    let buf i =
+      { Host.buf_data_arg = i; buf_dims = [ Host.Arg 5 ]; buf_element = f32 }
+    in
+    let submit kernel captures =
+      Host.Submit
+        { Host.cg_kernel = kernel; cg_global = [ Host.Arg 5 ]; cg_local = None;
+          cg_captures = captures }
+    in
+    ignore
+      (Host.emit m
+         {
+           Host.host_args = [ mem; mem; mem; mem; mem; Types.Index ];
+           buffers = List.init 5 buf;
+           globals = [];
+           body =
+             [
+               submit "chain_add"
+                 [ Host.Capture_acc (0, S.Read); Host.Capture_acc (1, S.Read);
+                   Host.Capture_acc (2, S.Write) ];
+               submit "chain_sq"
+                 [ Host.Capture_acc (2, S.Read); Host.Capture_acc (3, S.Write) ];
+               submit "chain_sub"
+                 [ Host.Capture_acc (3, S.Read); Host.Capture_acc (0, S.Read);
+                   Host.Capture_acc (4, S.Write) ];
+             ];
+         });
+    m
+  in
+  let w_data () =
+    let st = rng 97 in
+    let a = farray_random st n and b = farray_random st n in
+    let t = farray_zeros n and u = farray_zeros n and out = farray_zeros n in
+    let validate () =
+      check_array out
+        (Array.init n (fun i ->
+             let t = read_f a i +. read_f b i in
+             (t *. t) -. read_f a i))
+    in
+    ([ harg a; harg b; harg t; harg u; harg out; iarg n ], validate)
+  in
+  {
+    w_name = "ElementwiseChain";
+    w_category = Single_kernel;
+    w_problem_size = n;
+    w_paper_size = n;
+    w_module;
+    w_data;
+    w_acpp_ok = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-tiled ND-range matmul — the paper's Listing 7 written by hand   *)
+(* (what loop internalization generates automatically from Listing 6).  *)
+(* Uses an explicit work-group size, work-group local tiles and group    *)
+(* barriers through the public API.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tiled_matmul ~n ~m_tile =
+  assert (n mod m_tile = 0);
+  let w_module () =
+    let m = fresh_module () in
+    ignore
+      (K.define m ~name:"tiled_mm" ~dims:2 ~nd:true
+         ~args:
+           [ K.Acc (2, S.Read, f32); K.Acc (2, S.Read, f32);
+             K.Acc (2, S.Read_write, f32) ]
+         (fun b ~item ~args ->
+           match args with
+           | [ a; bb; c ] ->
+             let i = K.gid b item 0 and j = K.gid b item 1 in
+             let x = K.lid b item 0 and y = K.lid b item 1 in
+             let n = K.grange b item 0 in
+             let a_tile = Dialects.Gpu.alloc_local b [ m_tile; m_tile ] f32 in
+             let b_tile = Dialects.Gpu.alloc_local b [ m_tile; m_tile ] f32 in
+             let mt = K.idx b m_tile in
+             let zero = K.idx b 0 in
+             let one = K.idx b 1 in
+             (* for (t = 0; t < N; t += M) *)
+             let outer =
+               Dialects.Scf.for_ b ~lb:zero ~ub:n ~step:mt
+                 ~iter_args:[ K.fconst b 0.0 ]
+                 (fun ob t acc_outer ->
+                   (* A_tile[x][y] = A[i][t + y]; B_tile[x][y] = B[t + x][j] *)
+                   let ty = K.addi ob t y and tx = K.addi ob t x in
+                   Dialects.Memref.store ob (K.acc_get ob a [ i; ty ]) a_tile [ x; y ];
+                   Dialects.Memref.store ob (K.acc_get ob bb [ tx; j ]) b_tile [ x; y ];
+                   Sycl_core.Sycl_ops.group_barrier ob;
+                   let inner =
+                     Dialects.Scf.for_ ob ~lb:zero ~ub:mt ~step:one
+                       ~iter_args:acc_outer
+                       (fun ib k acc ->
+                         let av = Dialects.Memref.load ib a_tile [ x; k ] in
+                         let bv = Dialects.Memref.load ib b_tile [ k; y ] in
+                         [ K.addf ib (List.hd acc) (K.mulf ib av bv) ])
+                   in
+                   Sycl_core.Sycl_ops.group_barrier ob;
+                   Core.results inner)
+             in
+             K.acc_update b c [ i; j ] (fun v ->
+                 K.addf b v (Core.result outer 0))
+           | _ -> assert false));
+    ignore
+      (Host.emit m
+         {
+           Host.host_args = [ mem; mem; mem; Types.Index ];
+           buffers =
+             List.init 3 (fun i ->
+                 { Host.buf_data_arg = i;
+                   buf_dims = [ Host.Arg 3; Host.Arg 3 ]; buf_element = f32 });
+           globals = [];
+           body =
+             [
+               Host.Submit
+                 {
+                   Host.cg_kernel = "tiled_mm";
+                   cg_global = [ Host.Arg 3; Host.Arg 3 ];
+                   cg_local = Some [ m_tile; m_tile ];
+                   cg_captures =
+                     [ Host.Capture_acc (0, S.Read); Host.Capture_acc (1, S.Read);
+                       Host.Capture_acc (2, S.Read_write) ];
+                 };
+             ];
+         });
+    m
+  in
+  let w_data () =
+    let st = rng 101 in
+    let a = farray_random st (n * n) and b = farray_random st (n * n) in
+    let c = farray_zeros (n * n) in
+    let validate () =
+      let av = Array.init (n * n) (read_f a) and bv = Array.init (n * n) (read_f b) in
+      let expect = Array.make (n * n) 0.0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for k = 0 to n - 1 do
+            acc := !acc +. (av.((i * n) + k) *. bv.((k * n) + j))
+          done;
+          expect.((i * n) + j) <- !acc
+        done
+      done;
+      check_array ~tol:5e-3 c expect
+    in
+    ([ harg a; harg b; harg c; iarg n ], validate)
+  in
+  {
+    w_name = "TiledMatmul (hand-written Listing 7)";
+    w_category = Polybench;
+    w_problem_size = n;
+    w_paper_size = n;
+    w_module;
+    w_data;
+    w_acpp_ok = true;
+  }

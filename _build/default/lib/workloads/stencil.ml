@@ -1,0 +1,344 @@
+(* The oneAPI-samples stencil workloads of Section VIII: 1-D heat transfer
+   (buffer and USM variants), iso2dfd wave propagation, and the Jacobi
+   solver (adapted, as in the paper, so that the preparation for the next
+   iteration happens on the host — the main computation stays on the
+   device). The paper reports ~parity or slight SYCL-MLIR regressions
+   here, AdaptiveCpp failing validation on everything but iso2dfd. *)
+
+open Mlir
+open Common
+module K = Kernel
+module A = Dialects.Arith
+module S = Sycl_types
+
+let f32 = Types.f32
+let mem = Types.memref_dyn f32
+
+let vec_buf ~size_arg i =
+  { Host.buf_data_arg = i; buf_dims = [ Host.Arg size_arg ]; buf_element = f32 }
+
+let cap_r i = Host.Capture_acc (i, S.Read)
+let cap_w i = Host.Capture_acc (i, S.Write)
+
+let emit_host m ~args ~buffers ~body =
+  ignore (Host.emit m { Host.host_args = args; buffers; globals = []; body })
+
+let mk ~name ~paper ~n ~acpp w_module w_data =
+  { w_name = name; w_category = Stencil; w_problem_size = n;
+    w_paper_size = paper; w_module; w_data; w_acpp_ok = acpp }
+
+(* ------------------------------------------------------------------ *)
+(* 1-D heat transfer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let heat_c = 0.25
+
+(* out[i] = in[i] + C * (in[i+1] - 2 in[i] + in[i-1]), borders clamped. *)
+let heat_step_body b ~item ~get ~set =
+  let i = K.gid b item 0 in
+  let n = K.grange b item 0 in
+  let one = K.idx b 1 in
+  let zero = K.idx b 0 in
+  let n1 = K.subi b n one in
+  let im = A.maxsi b zero (K.subi b i one) in
+  let ip = A.minsi b n1 (K.addi b i one) in
+  let u = get i and um = get im and up = get ip in
+  let lap = K.addf b (K.subf b um (K.mulf b (K.fconst b 2.0) u)) up in
+  set i (K.addf b u (K.mulf b (K.fconst b heat_c) lap))
+
+let ref_heat ~n ~steps (u : float array) =
+  let a = Array.copy u and b = Array.make n 0.0 in
+  let cur = ref a and nxt = ref b in
+  for _ = 1 to steps do
+    for i = 0 to n - 1 do
+      let um = !cur.(max 0 (i - 1)) and up = !cur.(min (n - 1) (i + 1)) in
+      !nxt.(i) <- !cur.(i) +. (heat_c *. (um -. (2.0 *. !cur.(i)) +. up))
+    done;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  !cur
+
+let heat_buffer ~n ~steps =
+  assert (steps mod 2 = 0);
+  let w_module () =
+    let m = fresh_module () in
+    ignore
+      (K.define m ~name:"heat_step" ~dims:1
+         ~args:[ K.Acc (1, S.Read, f32); K.Acc (1, S.Write, f32) ]
+         (fun b ~item ~args ->
+           match args with
+           | [ inp; out ] ->
+             heat_step_body b ~item
+               ~get:(fun i -> K.acc_get b inp [ i ])
+               ~set:(fun i v -> K.acc_set b out [ i ] v)
+           | _ -> assert false));
+    let submit ~from ~into =
+      Host.Submit
+        { Host.cg_kernel = "heat_step"; cg_global = [ Host.Arg 2 ];
+          cg_local = None; cg_captures = [ cap_r from; cap_w into ] }
+    in
+    emit_host m
+      ~args:[ mem; mem; Types.Index; Types.Index ]
+      ~buffers:[ vec_buf ~size_arg:2 0; vec_buf ~size_arg:2 1 ]
+      ~body:
+        [ Host.Repeat (Host.Arg 3, [ submit ~from:0 ~into:1; submit ~from:1 ~into:0 ]) ];
+    m
+  in
+  let w_data () =
+    let st = rng 71 in
+    let u = farray_random st n and v = farray_zeros n in
+    let u0 = Array.init n (read_f u) in
+    let validate () = check_array ~tol:1e-2 u (ref_heat ~n ~steps u0) in
+    ([ harg u; harg v; iarg n; iarg (steps / 2) ], validate)
+  in
+  mk ~name:"1d_HeatTransfer (buffer)" ~paper:100 ~n ~acpp:false w_module w_data
+
+let heat_usm ~n ~steps =
+  assert (steps mod 2 = 0);
+  let w_module () =
+    let m = fresh_module () in
+    ignore
+      (K.define m ~name:"heat_step_usm" ~dims:1 ~args:[ K.Ptr f32; K.Ptr f32 ]
+         (fun b ~item ~args ->
+           match args with
+           | [ inp; out ] ->
+             heat_step_body b ~item
+               ~get:(fun i -> K.ptr_get b inp i)
+               ~set:(fun i v -> K.ptr_set b out i v)
+           | _ -> assert false));
+    let submit ~from ~into =
+      Host.Submit
+        { Host.cg_kernel = "heat_step_usm"; cg_global = [ Host.Arg 1 ];
+          cg_local = None;
+          cg_captures = [ Host.Capture_usm from; Host.Capture_usm into ] }
+    in
+    emit_host m
+      ~args:[ mem; Types.Index; Types.Index ]
+      ~buffers:[]
+      ~body:
+        [
+          Host.Usm_alloc (0, Host.Arg 1, f32);
+          Host.Usm_alloc (1, Host.Arg 1, f32);
+          Host.Memcpy_h2d (0, 0, Host.Arg 1);
+          Host.Repeat (Host.Arg 2, [ submit ~from:0 ~into:1; submit ~from:1 ~into:0 ]);
+          Host.Memcpy_d2h (0, 0, Host.Arg 1);
+          Host.Usm_free 0;
+          Host.Usm_free 1;
+        ];
+    m
+  in
+  let w_data () =
+    let st = rng 73 in
+    let u = farray_random st n in
+    let u0 = Array.init n (read_f u) in
+    let validate () = check_array ~tol:1e-2 u (ref_heat ~n ~steps u0) in
+    ([ harg u; iarg n; iarg (steps / 2) ], validate)
+  in
+  mk ~name:"1d_HeatTransfer (USM)" ~paper:100 ~n ~acpp:false w_module w_data
+
+(* ------------------------------------------------------------------ *)
+(* iso2dfd: 2-D isotropic wave propagation                             *)
+(* ------------------------------------------------------------------ *)
+
+let iso2dfd ~n ~steps =
+  assert (steps mod 2 = 0);
+  let racc2 = K.Acc (2, S.Read, f32) in
+  let rwacc2 = K.Acc (2, S.Read_write, f32) in
+  let w_module () =
+    let m = fresh_module () in
+    (* next = 2*cur - next + vel * laplacian(cur), interior points. *)
+    ignore
+      (K.define m ~name:"iso2dfd" ~dims:2 ~args:[ rwacc2; racc2; racc2 ]
+         (fun b ~item ~args ->
+           match args with
+           | [ next; cur; vel ] ->
+             let i = K.gid b item 0 and j = K.gid b item 1 in
+             let n = K.grange b item 0 in
+             let one = K.idx b 1 in
+             let n1 = K.subi b n one in
+             let interior d = A.andi b (A.cmpi b A.Sge d one) (A.cmpi b A.Slt d n1) in
+             let cond = A.andi b (interior i) (interior j) in
+             ignore
+               (Dialects.Scf.if_ b cond
+                  ~then_:(fun b2 ->
+                    let ip = K.addi b2 i one and im = K.subi b2 i one in
+                    let jp = K.addi b2 j one and jm = K.subi b2 j one in
+                    let c = K.acc_get b2 cur [ i; j ] in
+                    let lap =
+                      K.subf b2
+                        (K.addf b2
+                           (K.addf b2 (K.acc_get b2 cur [ im; j ]) (K.acc_get b2 cur [ ip; j ]))
+                           (K.addf b2 (K.acc_get b2 cur [ i; jm ]) (K.acc_get b2 cur [ i; jp ])))
+                        (K.mulf b2 (K.fconst b2 4.0) c)
+                    in
+                    let nv =
+                      K.addf b2
+                        (K.subf b2 (K.mulf b2 (K.fconst b2 2.0) c)
+                           (K.acc_get b2 next [ i; j ]))
+                        (K.mulf b2 (K.acc_get b2 vel [ i; j ]) lap)
+                    in
+                    K.acc_set b2 next [ i; j ] nv;
+                    [])
+                  ())
+           | _ -> assert false));
+    let submit ~next ~cur =
+      Host.Submit
+        { Host.cg_kernel = "iso2dfd"; cg_global = [ Host.Arg 3; Host.Arg 3 ];
+          cg_local = None;
+          cg_captures = [ Host.Capture_acc (next, S.Read_write); cap_r cur; cap_r 2 ] }
+    in
+    emit_host m
+      ~args:[ mem; mem; mem; Types.Index; Types.Index ]
+      ~buffers:
+        [
+          { Host.buf_data_arg = 0; buf_dims = [ Host.Arg 3; Host.Arg 3 ]; buf_element = f32 };
+          { Host.buf_data_arg = 1; buf_dims = [ Host.Arg 3; Host.Arg 3 ]; buf_element = f32 };
+          { Host.buf_data_arg = 2; buf_dims = [ Host.Arg 3; Host.Arg 3 ]; buf_element = f32 };
+        ]
+      ~body:[ Host.Repeat (Host.Arg 4, [ submit ~next:1 ~cur:0; submit ~next:0 ~cur:1 ]) ];
+    m
+  in
+  let w_data () =
+    let st = rng 79 in
+    let prev = farray_random st (n * n) and cur = farray_random st (n * n) in
+    let vel = farray_init (n * n) (fun _ -> 0.1 +. Random.State.float st 0.1) in
+    let p0 = Array.init (n * n) (read_f prev)
+    and c0 = Array.init (n * n) (read_f cur)
+    and v0 = Array.init (n * n) (read_f vel) in
+    let validate () =
+      (* Reference: alternate roles exactly like the submitted pairs. *)
+      let a = Array.copy p0 and b = Array.copy c0 in
+      let step next cur =
+        for i = 1 to n - 2 do
+          for j = 1 to n - 2 do
+            let c = cur.((i * n) + j) in
+            let lap =
+              cur.(((i - 1) * n) + j) +. cur.(((i + 1) * n) + j)
+              +. cur.((i * n) + j - 1) +. cur.((i * n) + j + 1)
+              -. (4.0 *. c)
+            in
+            next.((i * n) + j) <-
+              (2.0 *. c) -. next.((i * n) + j) +. (v0.((i * n) + j) *. lap)
+          done
+        done
+      in
+      for _ = 1 to steps / 2 do
+        step b a;
+        step a b
+      done;
+      check_array ~tol:1e-2 prev a && check_array ~tol:1e-2 cur b
+    in
+    ([ harg prev; harg cur; harg vel; iarg n; iarg (steps / 2) ], validate)
+  in
+  mk ~name:"iso2dfd" ~paper:1000 ~n ~acpp:true w_module w_data
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi iteration (flat 1-D matrix indexing; the L1-norm preparation  *)
+(* runs on the host, matching the paper's adaptation)                  *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi ~n ~iters =
+  let w_module () =
+    let m = fresh_module () in
+    ignore
+      (K.define m ~name:"jacobi" ~dims:1
+         ~args:
+           [ K.Acc (1, S.Read, f32) (* A, flattened n*n *)
+           ; K.Acc (1, S.Read, f32) (* b *)
+           ; K.Acc (1, S.Read, f32) (* x_old *)
+           ; K.Acc (1, S.Write, f32) (* x_new *)
+           ]
+         (fun b ~item ~args ->
+           match args with
+           | [ a; rhs; x_old; x_new ] ->
+             let i = K.gid b item 0 in
+             let n = K.grange b item 0 in
+             let base = K.muli b i n in
+             let zero = K.fconst b 0.0 in
+             let sum =
+               Dialects.Scf.for_ b ~lb:(K.idx b 0) ~ub:n ~step:(K.idx b 1)
+                 ~iter_args:[ zero ]
+                 (fun b2 j acc ->
+                   match acc with
+                   | [ acc ] ->
+                     let same = A.cmpi b2 A.Eq j i in
+                     let aij = K.acc_get b2 a [ K.addi b2 base j ] in
+                     let xj = K.acc_get b2 x_old [ j ] in
+                     let contrib = A.select b2 same zero (K.mulf b2 aij xj) in
+                     [ K.addf b2 acc contrib ]
+                   | _ -> assert false)
+             in
+             let diag = K.acc_get b a [ K.addi b base i ] in
+             let num = K.subf b (K.acc_get b rhs [ i ]) (Core.result sum 0) in
+             K.acc_set b x_new [ i ] (K.divf b num diag)
+           | _ -> assert false));
+    ignore
+      (K.define m ~name:"jacobi_copy" ~dims:1
+         ~args:[ K.Acc (1, S.Read, f32); K.Acc (1, S.Write, f32) ]
+         (fun b ~item ~args ->
+           match args with
+           | [ src; dst ] ->
+             let i = K.gid b item 0 in
+             K.acc_set b dst [ i ] (K.acc_get b src [ i ])
+           | _ -> assert false));
+    emit_host m
+      ~args:[ mem; mem; mem; mem; Types.Index; Types.Index; Types.Index ]
+      ~buffers:
+        [ vec_buf ~size_arg:5 0; vec_buf ~size_arg:4 1; vec_buf ~size_arg:4 2;
+          vec_buf ~size_arg:4 3 ]
+      ~body:
+        [
+          Host.Repeat
+            ( Host.Arg 6,
+              [
+                Host.Submit
+                  { Host.cg_kernel = "jacobi"; cg_global = [ Host.Arg 4 ];
+                    cg_local = None;
+                    cg_captures = [ cap_r 0; cap_r 1; cap_r 2; cap_w 3 ] };
+                Host.Submit
+                  { Host.cg_kernel = "jacobi_copy"; cg_global = [ Host.Arg 4 ];
+                    cg_local = None; cg_captures = [ cap_r 3; cap_w 2 ] };
+              ] );
+        ];
+    m
+  in
+  let w_data () =
+    let st = rng 83 in
+    (* Diagonally dominant system so the iteration converges. *)
+    let a =
+      farray_init (n * n) (fun k ->
+          let i = k / n and j = k mod n in
+          if i = j then float_of_int n +. 1.0 else Random.State.float st 0.5)
+    in
+    let rhs = farray_random st n in
+    let x_old = farray_zeros n and x_new = farray_zeros n in
+    let validate () =
+      let av = Array.init (n * n) (read_f a) and bv = Array.init n (read_f rhs) in
+      let xo = Array.make n 0.0 and xn = Array.make n 0.0 in
+      for _ = 1 to iters do
+        for i = 0 to n - 1 do
+          let s = ref 0.0 in
+          for j = 0 to n - 1 do
+            if j <> i then s := !s +. (av.((i * n) + j) *. xo.(j))
+          done;
+          xn.(i) <- (bv.(i) -. !s) /. av.((i * n) + i)
+        done;
+        Array.blit xn 0 xo 0 n
+      done;
+      check_array ~tol:1e-2 x_old xo
+    in
+    ([ harg a; harg rhs; harg x_old; harg x_new; iarg n; iarg (n * n); iarg iters ],
+     validate)
+  in
+  mk ~name:"jacobi" ~paper:1024 ~n ~acpp:false w_module w_data
+
+let all ?(scale = 1) () =
+  let s n = max 16 (n * scale) in
+  [
+    heat_buffer ~n:100 ~steps:(s 100);
+    heat_usm ~n:100 ~steps:(s 100);
+    iso2dfd ~n:(s 64) ~steps:8;
+    jacobi ~n:(s 128) ~iters:4;
+  ]

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Dialects List Mlir QCheck2 QCheck_alcotest String Sycl_core Sycl_frontend Verifier

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine_expr Alcotest Array Attr Helpers List Mlir Parser QCheck2

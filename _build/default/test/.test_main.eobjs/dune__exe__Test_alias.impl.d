@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Attr Core Dialects Helpers List Mlir Sycl_core Sycl_frontend Types

@@ -1,0 +1,1 @@
+test/test_barrier_safety.ml: Alcotest Dialects Helpers List Mlir Printf Sycl_core Sycl_frontend Sycl_sim Sycl_workloads Types

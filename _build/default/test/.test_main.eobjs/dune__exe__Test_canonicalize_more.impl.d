@@ -1,0 +1,1 @@
+test/test_canonicalize_more.ml: Alcotest Attr Core Dialects Helpers List Mlir Pass Printf Rewrite String Sycl_core Sycl_sim Types

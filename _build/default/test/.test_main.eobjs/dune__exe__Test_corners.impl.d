@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest Array Attr Builder Core Dialects Helpers List Mlir Parser Sycl_core Sycl_frontend Sycl_sim Types

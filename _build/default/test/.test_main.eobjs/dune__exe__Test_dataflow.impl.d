@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Attr Core Dataflow Dialects Fmt Hashtbl Helpers List Mlir Option Printf Rewrite Types

@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Attr Builder Core Dialects Helpers List Mlir Op_registry Option QCheck2 Sycl_core Types

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Array Core Dialects Helpers List Mlir Pass Random Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Attr Builder Core Dialects Helpers List Mlir Option Pass Sycl_core Sycl_frontend Types

@@ -1,0 +1,1 @@
+test/test_inline_unroll.ml: Alcotest Attr Core Dialects Helpers List Mlir Option Pass Rewrite Sycl_core Sycl_frontend Types

@@ -1,0 +1,1 @@
+test/test_internalization.ml: Alcotest Array Attr Core Dialects Float Helpers List Mlir Pass Random Sycl_core Sycl_frontend Sycl_sim Types

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Attr Core Dialects Dominance Helpers List Mlir Option Types

@@ -1,0 +1,1 @@
+test/test_licm.ml: Alcotest Array Core Dialects Helpers List Mlir Option Pass Sycl_core Sycl_frontend Types

@@ -1,0 +1,1 @@
+test/test_memory_access.ml: Alcotest Array Builder Core Dialects Helpers List Mlir Printf Sycl_core Sycl_frontend Types

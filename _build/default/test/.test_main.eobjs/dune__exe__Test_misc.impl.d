@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Attr Builder Core Dialects Float Helpers List Mlir Op_registry Pass Printer String Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

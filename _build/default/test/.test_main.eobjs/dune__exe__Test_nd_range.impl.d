@@ -1,0 +1,1 @@
+test/test_nd_range.ml: Alcotest Array Common Dialects Extensions Float Helpers List Mlir Pass Polybench Printf Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Sycl_workloads Types

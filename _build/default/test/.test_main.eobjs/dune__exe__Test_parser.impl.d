@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attr Core Dialects Helpers List Mlir Option Parser Printer Sycl_core Sycl_frontend Types

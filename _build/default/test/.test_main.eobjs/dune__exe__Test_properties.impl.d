@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Builder Core Dialects Float Hashtbl Helpers Lazy List Mlir Parser Printer Printf QCheck2 Random Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

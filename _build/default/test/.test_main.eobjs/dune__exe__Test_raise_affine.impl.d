@@ -1,0 +1,1 @@
+test/test_raise_affine.ml: Alcotest Core Dialects Helpers List Mlir Pass Sycl_core Sycl_frontend Sycl_runtime Sycl_workloads Types

@@ -1,0 +1,1 @@
+test/test_reaching_defs.ml: Alcotest Attr Builder Core Dialects Helpers List Mlir Option Sycl_core Types

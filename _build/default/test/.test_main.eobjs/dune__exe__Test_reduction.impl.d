@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Core Dialects Helpers List Mlir Option Pass Sycl_core Sycl_frontend Types

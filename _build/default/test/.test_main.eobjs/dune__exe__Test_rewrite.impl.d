@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Attr Core Dialects Helpers List Mlir Option Pass Rewrite Sycl_core Types

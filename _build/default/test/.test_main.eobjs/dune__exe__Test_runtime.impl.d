@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Attr Core Helpers List Mlir Option Pass Sycl_core Sycl_frontend Sycl_runtime Sycl_sim Types

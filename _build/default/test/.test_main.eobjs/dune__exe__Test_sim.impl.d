@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Core Dialects Helpers List Mlir Sycl_core Sycl_frontend Sycl_sim Types

@@ -1,0 +1,1 @@
+test/test_text_pipeline.ml: Alcotest Common List Mlir Parser Pass Polybench Printer Single_kernel Sycl_core Sycl_runtime Sycl_workloads

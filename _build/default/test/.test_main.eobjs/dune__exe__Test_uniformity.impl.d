@@ -1,0 +1,1 @@
+test/test_uniformity.ml: Alcotest Attr Builder Core Dialects Fmt Helpers List Mlir Option Sycl_core Sycl_frontend Types

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Attr Builder Core Dialects Helpers List Mlir Pass String Types Verifier

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Common Helpers List Mlir Polybench Printf QCheck2 Single_kernel Stencil Sycl_core Sycl_workloads

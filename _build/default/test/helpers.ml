@@ -1,0 +1,42 @@
+(* Shared test helpers. *)
+
+open Mlir
+
+let init () =
+  Dialects.Register.init ();
+  Sycl_core.Sycl_ops.init ();
+  Sycl_core.Sycl_host_ops.init ();
+  Sycl_core.Licm.init ()
+
+let fresh_module () =
+  init ();
+  Core.create_module ()
+
+(** A module with a single function [name] whose body is built by [f]. *)
+let with_func ?(name = "f") ?(args = []) ?(results = []) f =
+  let m = fresh_module () in
+  let fn =
+    Dialects.Func.func m name ~args ~results (fun b vals ->
+        f b vals;
+        if results = [] then Dialects.Func.return b [])
+  in
+  (m, fn)
+
+(** A kernel module (tagged sycl.kernel, item argument first). *)
+let with_kernel ?(name = "k") ?(dims = 2) ?(nd = false) ~args f =
+  let m = fresh_module () in
+  let fn = Sycl_frontend.Kernel.define m ~name ~dims ~nd ~args f in
+  (m, fn)
+
+let check_verifies ?(msg = "module verifies") m =
+  match Verifier.verify m with
+  | Ok () -> ()
+  | Error ds ->
+    Alcotest.failf "%s: %s" msg
+      (String.concat "; " (List.map Verifier.diag_to_string ds))
+
+let count_ops m name = List.length (Core.collect_named m name)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)

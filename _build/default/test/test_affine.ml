@@ -1,0 +1,111 @@
+(* Affine expression and map tests, including qcheck properties. *)
+
+open Mlir
+module E = Affine_expr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Random affine expression generator over [nd] dims and [ns] syms. *)
+let expr_gen ~nd ~ns =
+  let open QCheck2.Gen in
+  sized_size (int_bound 6) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          ([ map (fun c -> E.Const c) (int_range (-20) 20) ]
+          @ (if nd > 0 then [ map (fun i -> E.Dim i) (int_bound (nd - 1)) ] else [])
+          @ if ns > 0 then [ map (fun i -> E.Sym i) (int_bound (ns - 1)) ] else [])
+      else
+        oneof
+          [
+            map2 (fun a b -> E.Add (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a c -> E.Mul (a, E.Const c)) (self (n - 1)) (int_range (-8) 8);
+            map2 (fun a c -> E.Mod (a, E.Const c)) (self (n - 1)) (int_range 1 8);
+            map2 (fun a c -> E.Floordiv (a, E.Const c)) (self (n - 1)) (int_range 1 8);
+            self (n - 1);
+          ])
+
+let vals_gen k =
+  QCheck2.Gen.(array_size (pure k) (int_range (-50) 50))
+
+let simplify_preserves_eval =
+  Helpers.qtest "simplify preserves evaluation"
+    QCheck2.Gen.(pair (expr_gen ~nd:3 ~ns:2) (pair (vals_gen 3) (vals_gen 2)))
+    (fun (e, (dims, syms)) ->
+      E.eval dims syms e = E.eval dims syms (E.simplify e))
+
+let linear_coeffs_reconstruct =
+  Helpers.qtest "linear_coeffs reconstructs linear expressions"
+    QCheck2.Gen.(
+      pair
+        (list_size (pure 3) (int_range (-9) 9))
+        (pair (int_range (-20) 20) (vals_gen 3)))
+    (fun (coeffs, (c, vals)) ->
+      (* Build sum(coeffs_i * d_i) + c. *)
+      let e =
+        List.fold_left E.add (E.Const c)
+          (List.mapi (fun i k -> E.mul (E.Dim i) (E.Const k)) coeffs)
+      in
+      match E.linear_coeffs ~num_dims:3 ~num_syms:0 e with
+      | None -> false
+      | Some (ds, _, c') ->
+        let manual =
+          List.fold_left ( + ) c'
+            (List.mapi (fun i k -> k * vals.(i)) (Array.to_list ds))
+        in
+        manual = E.eval vals [||] e)
+
+let basic_tests =
+  [
+    Alcotest.test_case "constant folding in add/mul" `Quick (fun () ->
+        check_int "2+3" 5
+          (match E.add (E.Const 2) (E.Const 3) with E.Const c -> c | _ -> -1);
+        check_int "4*5" 20
+          (match E.mul (E.Const 4) (E.Const 5) with E.Const c -> c | _ -> -1));
+    Alcotest.test_case "identities" `Quick (fun () ->
+        check_bool "x+0 = x" true (E.add (E.Dim 0) (E.Const 0) = E.Dim 0);
+        check_bool "x*1 = x" true (E.mul (E.Dim 0) (E.Const 1) = E.Dim 0);
+        check_bool "x*0 = 0" true (E.mul (E.Dim 0) (E.Const 0) = E.Const 0));
+    Alcotest.test_case "floordiv semantics" `Quick (fun () ->
+        check_int "-7 floordiv 2" (-4) (E.eval [||] [||] (E.Floordiv (E.Const (-7), E.Const 2)));
+        check_int "7 floordiv 2" 3 (E.eval [||] [||] (E.Floordiv (E.Const 7, E.Const 2))));
+    Alcotest.test_case "mod is non-negative for positive modulus" `Quick (fun () ->
+        check_int "-7 mod 3" 2 (E.eval [||] [||] (E.Mod (E.Const (-7), E.Const 3))));
+    Alcotest.test_case "eval with dims and syms" `Quick (fun () ->
+        let e = E.add (E.mul (E.Dim 0) (E.Const 3)) (E.Sym 1) in
+        check_int "3*d0 + s1" 17 (E.eval [| 5 |] [| 0; 2 |] e));
+    Alcotest.test_case "is_pure_affine" `Quick (fun () ->
+        check_bool "d0*d1 not affine" false (E.is_pure_affine (E.Mul (E.Dim 0, E.Dim 1)));
+        check_bool "d0*2+s0 affine" true
+          (E.is_pure_affine (E.Add (E.Mul (E.Dim 0, E.Const 2), E.Sym 0))));
+    Alcotest.test_case "linear_coeffs rejects non-linear" `Quick (fun () ->
+        check_bool "d0*d1" true
+          (E.linear_coeffs ~num_dims:2 ~num_syms:0 (E.Mul (E.Dim 0, E.Dim 1)) = None);
+        check_bool "d0 mod 2" true
+          (E.linear_coeffs ~num_dims:1 ~num_syms:0 (E.Mod (E.Dim 0, E.Const 2)) = None));
+    Alcotest.test_case "linear_coeffs of paper example row" `Quick (fun () ->
+        (* 2*i + 2 (+gid_y) — a row from Listing 3's matrix *)
+        let e = E.add (E.add (E.mul (E.Dim 2) (E.Const 2)) (E.Const 2)) (E.Dim 1) in
+        match E.linear_coeffs ~num_dims:3 ~num_syms:0 e with
+        | Some (ds, _, c) ->
+          Alcotest.(check (list int)) "coeffs" [ 0; 1; 2 ] (Array.to_list ds);
+          check_int "offset" 2 c
+        | None -> Alcotest.fail "expected linear");
+    Alcotest.test_case "map eval" `Quick (fun () ->
+        let m = E.Map.make ~num_dims:2 ~num_syms:0 [ E.add (E.Dim 0) (E.Dim 1); E.Const 7 ] in
+        Alcotest.(check (list int)) "results" [ 5; 7 ] (E.Map.eval m ~dims:[| 2; 3 |] ~syms:[||]));
+    Alcotest.test_case "identity map" `Quick (fun () ->
+        Alcotest.(check bool) "is_identity" true (E.Map.is_identity (E.Map.identity 3)));
+    Alcotest.test_case "map printing round-trips through attr parser" `Quick (fun () ->
+        let m = E.Map.make ~num_dims:2 ~num_syms:1
+            [ E.add (E.mul (E.Dim 0) (E.Const 4)) (E.Sym 0); E.Dim 1 ] in
+        let s = "affine_map<" ^ E.Map.to_string m ^ ">" in
+        let p = Parser.make_parser s in
+        match Parser.parse_attr p with
+        | Attr.Affine_map m' ->
+          Alcotest.(check string) "round trip" (E.Map.to_string m) (E.Map.to_string m')
+        | _ -> Alcotest.fail "expected affine_map attr");
+  ]
+
+let tests =
+  ("affine", basic_tests @ [ simplify_preserves_eval; linear_coeffs_reconstruct ])

@@ -1,0 +1,141 @@
+(* SYCL-aware alias analysis tests (Section V-A). *)
+
+open Mlir
+module A = Dialects.Arith
+module Alias = Sycl_core.Alias
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+
+let check_alias = Alcotest.(check string)
+let res r = Alias.result_to_string r
+
+let acc_args n =
+  List.init n (fun _ -> K.Acc (1, S.Read_write, Types.f32))
+
+let tests_list =
+  [
+    Alcotest.test_case "identical values must-alias" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun _b vals ->
+              let x = List.hd vals in
+              check_alias "x vs x" "must" (res (Alias.alias x x)))
+        in
+        ());
+    Alcotest.test_case "distinct allocations never alias" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_func (fun b _ ->
+              let a = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              let c = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              check_alias "a vs c" "no" (res (Alias.alias a c)))
+        in
+        ());
+    Alcotest.test_case "allocation never aliases a function argument" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let arg = List.hd vals in
+              let a = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              check_alias "alloca vs arg" "no" (res (Alias.alias a arg)))
+        in
+        ());
+    Alcotest.test_case "two memref arguments may alias" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_func
+            ~args:[ Types.memref_dyn Types.f32; Types.memref_dyn Types.f32 ]
+            (fun _b vals ->
+              match vals with
+              | [ x; y ] -> check_alias "args" "may" (res (Alias.alias x y))
+              | _ -> assert false)
+        in
+        ());
+    Alcotest.test_case "different memory spaces never alias" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let glob = List.hd vals in
+              let local = Dialects.Gpu.alloc_local b [ 16 ] Types.f32 in
+              check_alias "global vs local" "no" (res (Alias.alias glob local)))
+        in
+        ());
+    Alcotest.test_case
+      "accessors may alias by default (SYCL allows overlapping buffers)" `Quick
+      (fun () ->
+        let _m, _f =
+          Helpers.with_kernel ~dims:1 ~args:(acc_args 2) (fun b ~item:_ ~args ->
+              match args with
+              | [ a1; a2 ] ->
+                let i = A.const_index b 0 in
+                let v1 = K.acc_view b a1 [ i ] in
+                let v2 = K.acc_view b a2 [ i ] in
+                check_alias "subscripts of distinct accessors" "may"
+                  (res (Alias.alias v1 v2))
+              | _ -> assert false)
+        in
+        ());
+    Alcotest.test_case "host no-alias facts prove accessors disjoint" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:1 ~args:(acc_args 2) (fun b ~item:_ ~args ->
+              match args with
+              | [ a1; a2 ] ->
+                let i = A.const_index b 0 in
+                ignore (K.acc_view b a1 [ i ]);
+                ignore (K.acc_view b a2 [ i ])
+              | _ -> assert false)
+        in
+        Alias.add_noalias_pair f 1 2;
+        let subs = Core.collect_named f "sycl.accessor.subscript" in
+        match List.map (fun s -> Core.result s 0) subs with
+        | [ v1; v2 ] -> check_alias "now disjoint" "no" (res (Alias.alias v1 v2))
+        | _ -> Alcotest.fail "expected two subscripts");
+    Alcotest.test_case "identical subscripts must-alias, different indices may"
+      `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_kernel ~dims:1 ~args:(acc_args 1) (fun b ~item:_ ~args ->
+              let a = List.hd args in
+              let i = A.const_index b 0 in
+              let j = A.const_index b 1 in
+              let v1 = K.acc_view b a [ i ] in
+              let v2 = K.acc_view b a [ i ] in
+              let v3 = K.acc_view b a [ j ] in
+              check_alias "same index" "must" (res (Alias.alias v1 v2));
+              check_alias "different index" "may" (res (Alias.alias v1 v3)))
+        in
+        ());
+    Alcotest.test_case "subscript view does not alias private allocas" `Quick
+      (fun () ->
+        let _m, _f =
+          Helpers.with_kernel ~dims:1 ~args:(acc_args 1) (fun b ~item:_ ~args ->
+              let a = List.hd args in
+              let i = A.const_index b 0 in
+              let v = K.acc_view b a [ i ] in
+              let p = Dialects.Memref.alloca b [ 1 ] Types.f32 in
+              check_alias "accessor data vs private" "no" (res (Alias.alias v p)))
+        in
+        ());
+    Alcotest.test_case "base_of walks through subscripts" `Quick (fun () ->
+        let _m, _f =
+          Helpers.with_kernel ~dims:1 ~args:(acc_args 1) (fun b ~item:_ ~args ->
+              let a = List.hd args in
+              let i = A.const_index b 0 in
+              let v = K.acc_view b a [ i ] in
+              Alcotest.(check bool) "accessor arg base" true
+                (match Alias.base_of v with
+                | Alias.Accessor_arg x -> Core.value_equal x a
+                | _ -> false))
+        in
+        ());
+    Alcotest.test_case "globals never alias accessors" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore (Dialects.Llvm.global m "tbl" (Attr.Dense_float [| 1.0 |]));
+        let _f =
+          Sycl_frontend.Kernel.define m ~name:"k" ~dims:1 ~args:(acc_args 1)
+            (fun b ~item:_ ~args ->
+              let a = List.hd args in
+              let g = Dialects.Llvm.addressof b m "tbl" in
+              let i = A.const_index b 0 in
+              let v = K.acc_view b a [ i ] in
+              check_alias "global vs accessor" "no" (res (Alias.alias g v)))
+        in
+        ());
+  ]
+
+let tests = ("alias", tests_list)

@@ -1,0 +1,161 @@
+(* Tests for the extra canonicalization patterns, plus cost-model and
+   launch-policy units. *)
+
+open Mlir
+module A = Dialects.Arith
+module Cost = Sycl_sim.Cost
+
+let canon m =
+  let stats = Pass.Stats.create () in
+  Sycl_core.Canonicalize.pass.Pass.run m stats;
+  stats
+
+let returns_const f expected =
+  let ret = List.hd (Core.collect_named f "func.return") in
+  Rewrite.constant_of_value (Core.operand ret 0) = Some expected
+
+let tests_list =
+  [
+    Alcotest.test_case "x - x folds to 0 even for non-constants" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i64 ] (fun b vals ->
+              let x = List.hd vals in
+              Dialects.Func.return b [ A.subi b x x ])
+        in
+        ignore (canon m);
+        Alcotest.(check bool) "is 0" true (returns_const f (Attr.Int 0)));
+    Alcotest.test_case "min(x, x) folds to x" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i64 ] (fun b vals ->
+              let x = List.hd vals in
+              Dialects.Func.return b [ A.minsi b x x ])
+        in
+        ignore (canon m);
+        let ret = List.hd (Core.collect_named f "func.return") in
+        Alcotest.(check bool) "returns the argument" true
+          (Core.value_equal (Core.operand ret 0)
+             (Core.block_arg (Core.func_body f) 0)));
+    Alcotest.test_case "x <= x folds true, x < x folds false" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i1; Types.i1 ]
+            (fun b vals ->
+              let x = List.hd vals in
+              Dialects.Func.return b [ A.cmpi b A.Sle x x; A.cmpi b A.Slt x x ])
+        in
+        ignore (canon m);
+        let ret = List.hd (Core.collect_named f "func.return") in
+        Alcotest.(check bool) "sle true" true
+          (Rewrite.constant_of_value (Core.operand ret 0) = Some (Attr.Bool true));
+        Alcotest.(check bool) "slt false" true
+          (Rewrite.constant_of_value (Core.operand ret 1) = Some (Attr.Bool false)));
+    Alcotest.test_case "select with equal branches drops the select" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i1; Types.i64 ] ~results:[ Types.i64 ]
+            (fun b vals ->
+              match vals with
+              | [ c; x ] -> Dialects.Func.return b [ A.select b c x x ]
+              | _ -> assert false)
+        in
+        ignore (canon m);
+        Alcotest.(check int) "no select" 0 (Helpers.count_ops f "arith.select"));
+    Alcotest.test_case "(x + 3) + 4 reassociates to x + 7" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i64 ] (fun b vals ->
+              let x = List.hd vals in
+              let s1 = A.addi b x (A.const_int b 3) in
+              Dialects.Func.return b [ A.addi b s1 (A.const_int b 4) ])
+        in
+        ignore (canon m);
+        Alcotest.(check int) "single addi" 1 (Helpers.count_ops f "arith.addi");
+        let add = List.hd (Core.collect_named f "arith.addi") in
+        Alcotest.(check bool) "constant is 7" true
+          (Rewrite.constant_of_value (Core.operand add 1) = Some (Attr.Int 7)));
+    Alcotest.test_case "deep constant chain collapses entirely" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.i64 ] (fun b _ ->
+              let v = ref (A.const_int b 1) in
+              for k = 1 to 10 do
+                v := A.addi b !v (A.const_int b k)
+              done;
+              Dialects.Func.return b [ !v ])
+        in
+        ignore (canon m);
+        Alcotest.(check bool) "1 + sum(1..10) = 56" true
+          (returns_const f (Attr.Int 56)));
+    (* --- cost model --- *)
+    Alcotest.test_case "device_cycles spreads work-groups over CUs" `Quick
+      (fun () ->
+        let p = { Cost.default with Cost.num_cu = 4 } in
+        let s = Cost.fresh_launch_stats () in
+        s.Cost.work_groups <- 8;
+        s.Cost.total_wg_cycles <- 800;
+        s.Cost.max_wg_cycles <- 100;
+        Alcotest.(check int) "800/4" 200 (Cost.device_cycles p s));
+    Alcotest.test_case "device_cycles floors at the slowest work-group" `Quick
+      (fun () ->
+        let p = { Cost.default with Cost.num_cu = 64 } in
+        let s = Cost.fresh_launch_stats () in
+        s.Cost.work_groups <- 2;
+        s.Cost.total_wg_cycles <- 300;
+        s.Cost.max_wg_cycles <- 250;
+        Alcotest.(check int) "max wins" 250 (Cost.device_cycles p s));
+    Alcotest.test_case "launch overhead scales with live arguments" `Quick
+      (fun () ->
+        let p = Cost.default in
+        Alcotest.(check bool) "monotone" true
+          (Cost.launch_overhead p ~live_args:4 > Cost.launch_overhead p ~live_args:1));
+    Alcotest.test_case "transfer cycles round up to cache lines" `Quick (fun () ->
+        let p = Cost.default in
+        Alcotest.(check int) "one line" p.Cost.transfer_line_cycles
+          (Cost.transfer_cycles p ~elems:1);
+        Alcotest.(check int) "17 elems = 2 lines"
+          (2 * p.Cost.transfer_line_cycles)
+          (Cost.transfer_cycles p ~elems:(p.Cost.cache_line_elems + 1)));
+    (* --- launch policy --- *)
+    Alcotest.test_case "wg policy: divisibility respected" `Quick (fun () ->
+        List.iter
+          (fun (global, expected) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "wg for %s"
+                 (String.concat "x" (List.map string_of_int global)))
+              expected
+              (Sycl_core.Launch_policy.default_wg_size global))
+          [
+            ([ 1024 ], [ 256 ]);
+            ([ 100 ], [ 4 ]);
+            ([ 64; 64 ], [ 16; 16 ]);
+            ([ 48; 48 ], [ 16; 16 ]);
+            ([ 20; 20 ], [ 4; 4 ]);
+            ([ 8; 8; 8 ], [ 8; 8; 8 ]);
+          ]);
+    Alcotest.test_case "wg policy: degenerate sizes stay valid" `Quick (fun () ->
+        List.iter
+          (fun global ->
+            let wg = Sycl_core.Launch_policy.default_wg_size global in
+            List.iter2
+              (fun g w ->
+                Alcotest.(check bool) "divides" true (w >= 1 && g mod w = 0))
+              global wg)
+          [ [ 1 ]; [ 3 ]; [ 7; 5 ]; [ 1; 1; 1 ] ]);
+    (* --- pass manager --- *)
+    Alcotest.test_case "pipeline collects per-pass stats and times" `Quick
+      (fun () ->
+        let m, _ =
+          Helpers.with_func ~results:[ Types.i64 ] (fun b _ ->
+              Dialects.Func.return b
+                [ A.addi b (A.const_int b 1) (A.const_int b 2) ])
+        in
+        let r =
+          Pass.run_pipeline ~verify_each:true
+            [ Sycl_core.Canonicalize.pass; Sycl_core.Dce.pass ]
+            m
+        in
+        Alcotest.(check int) "two stat entries" 2 (List.length r.Pass.per_pass_stats);
+        Alcotest.(check int) "two timings" 2 (List.length r.Pass.per_pass_time);
+        let merged = Pass.merged_stats r in
+        Alcotest.(check bool) "canonicalize did something" true
+          (Pass.Stats.get merged "canonicalize/rewrites" > 0));
+  ]
+
+let tests = ("canonicalize-cost-policy", tests_list)

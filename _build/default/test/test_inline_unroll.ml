@@ -1,0 +1,196 @@
+(* Inliner and loop-unroll tests. *)
+
+open Mlir
+module A = Dialects.Arith
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+
+let run pass m =
+  let stats = Pass.Stats.create () in
+  pass.Pass.run m stats;
+  stats
+
+let tests_list =
+  [
+    Alcotest.test_case "direct call inlines and helper is removed" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore
+          (Dialects.Func.func m "sq" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               Dialects.Func.return b [ A.mulf b (List.hd vals) (List.hd vals) ]));
+        ignore
+          (K.define m ~name:"k" ~dims:1 ~args:[ K.Acc (1, S.Write, Types.f32) ]
+             (fun b ~item ~args ->
+               let i = K.gid b item 0 in
+               let x = A.sitofp b (A.index_cast b i Types.i64) Types.f32 in
+               let y = Dialects.Func.call1 b "sq" ~operands:[ x ] ~result:Types.f32 in
+               K.acc_set b (List.hd args) [ i ] y));
+        let stats = run Sycl_core.Inline.pass m in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "inlined once" 1 (Pass.Stats.get stats "inline.inlined");
+        Alcotest.(check int) "helper removed" 1
+          (Pass.Stats.get stats "inline.dead-functions-removed");
+        let k = Option.get (Core.lookup_func m "k") in
+        Alcotest.(check int) "no calls left" 0 (Helpers.count_ops k "func.call");
+        Alcotest.(check int) "body has the mulf" 1 (Helpers.count_ops k "arith.mulf"));
+    Alcotest.test_case "helper chains flatten" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore
+          (Dialects.Func.func m "a" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               Dialects.Func.return b
+                 [ A.addf b (List.hd vals) (List.hd vals) ]));
+        ignore
+          (Dialects.Func.func m "b" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               let r = Dialects.Func.call1 b "a" ~operands:vals ~result:Types.f32 in
+               Dialects.Func.return b [ A.mulf b r r ]));
+        ignore
+          (K.define m ~name:"k" ~dims:1 ~args:[ K.Acc (1, S.Write, Types.f32) ]
+             (fun bld ~item ~args ->
+               let i = K.gid bld item 0 in
+               let x = A.sitofp bld (A.index_cast bld i Types.i64) Types.f32 in
+               let y = Dialects.Func.call1 bld "b" ~operands:[ x ] ~result:Types.f32 in
+               K.acc_set bld (List.hd args) [ i ] y));
+        let stats = run Sycl_core.Inline.pass m in
+        Helpers.check_verifies m;
+        Alcotest.(check bool) "at least two inlines" true
+          (Pass.Stats.get stats "inline.inlined" >= 2);
+        let k = Option.get (Core.lookup_func m "k") in
+        Alcotest.(check int) "no calls left in kernel" 0
+          (Helpers.count_ops k "func.call"));
+    Alcotest.test_case "recursive functions refuse to inline" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore
+          (Dialects.Func.func m "rec" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               let r =
+                 Dialects.Func.call1 b "rec" ~operands:vals ~result:Types.f32
+               in
+               Dialects.Func.return b [ r ]));
+        ignore
+          (Dialects.Func.func m "caller" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               let r =
+                 Dialects.Func.call1 b "rec" ~operands:vals ~result:Types.f32
+               in
+               Dialects.Func.return b [ r ]));
+        let stats = run Sycl_core.Inline.pass m in
+        Alcotest.(check int) "nothing inlined" 0
+          (Pass.Stats.get stats "inline.inlined"));
+    Alcotest.test_case "uniformity sees through inlined getters" `Quick (fun () ->
+        (* After inlining, the divergence source flows directly. *)
+        let m = Helpers.fresh_module () in
+        ignore
+          (Dialects.Func.func m "idx2" ~args:[ Types.Index ] ~results:[ Types.Index ]
+             (fun b vals ->
+               Dialects.Func.return b
+                 [ A.muli b (List.hd vals) (A.const_index b 2) ]));
+        ignore
+          (K.define m ~name:"k" ~dims:1 ~args:[] (fun b ~item ~args:_ ->
+               let i = K.gid b item 0 in
+               ignore (Dialects.Func.call1 b "idx2" ~operands:[ i ] ~result:Types.Index)));
+        ignore (run Sycl_core.Inline.pass m);
+        let k = Option.get (Core.lookup_func m "k") in
+        let mul = List.hd (Core.collect_named k "arith.muli") in
+        let t = Sycl_core.Uniformity.analyze m in
+        Alcotest.(check string) "non-uniform through the inlined body"
+          "non-uniform"
+          (Sycl_core.Uniformity.lattice_to_string
+             (Sycl_core.Uniformity.value t (Core.result mul 0))));
+    Alcotest.test_case "constant-trip loop fully unrolls" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let mem = List.hd vals in
+              let zero = A.const_index b 0 in
+              let four = A.const_index b 4 in
+              let one = A.const_index b 1 in
+              ignore
+                (Dialects.Scf.for_ b ~lb:zero ~ub:four ~step:one (fun bb iv _ ->
+                     Dialects.Memref.store bb (A.const_float bb 1.0) mem [ iv ];
+                     [])))
+        in
+        let stats = run Sycl_core.Loop_unroll.pass m in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "unrolled" 1 (Pass.Stats.get stats "unroll.unrolled");
+        Alcotest.(check int) "no loop left" 0 (Helpers.count_ops f "scf.for");
+        Alcotest.(check int) "four stores" 4 (Helpers.count_ops f "memref.store"));
+    Alcotest.test_case "unrolled iter_args chain through iterations" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.Index ] (fun b _ ->
+              let zero = A.const_index b 0 in
+              let five = A.const_index b 5 in
+              let one = A.const_index b 1 in
+              let loop =
+                Dialects.Scf.for_ b ~lb:zero ~ub:five ~step:one
+                  ~iter_args:[ zero ]
+                  (fun bb iv args -> [ A.addi bb (List.hd args) iv ])
+              in
+              Dialects.Func.return b [ Core.result loop 0 ])
+        in
+        ignore (run Sycl_core.Loop_unroll.pass m);
+        ignore (run Sycl_core.Canonicalize.pass m);
+        (* 0+1+2+3+4 = 10 must constant-fold. *)
+        let ret = List.hd (Core.collect_named f "func.return") in
+        Alcotest.(check bool) "folds to 10" true
+          (Rewrite.constant_of_value (Core.operand ret 0) = Some (Attr.Int 10)));
+    Alcotest.test_case "dynamic bounds and big loops stay" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.Index ] (fun b vals ->
+              let n = List.hd vals in
+              let zero = A.const_index b 0 in
+              let one = A.const_index b 1 in
+              let big = A.const_index b 10_000 in
+              ignore
+                (Dialects.Scf.for_ b ~lb:zero ~ub:n ~step:one (fun bb iv _ ->
+                     ignore (A.addi bb iv iv);
+                     []));
+              ignore
+                (Dialects.Scf.for_ b ~lb:zero ~ub:big ~step:one (fun bb iv _ ->
+                     ignore (A.addi bb iv iv);
+                     [])))
+        in
+        let stats = run Sycl_core.Loop_unroll.pass m in
+        Alcotest.(check int) "nothing unrolled" 0
+          (Pass.Stats.get stats "unroll.unrolled");
+        Alcotest.(check int) "both loops remain" 2 (Helpers.count_ops f "scf.for"));
+    Alcotest.test_case "unroll + constant-array fold removes filter loads" `Quick
+      (fun () ->
+        (* The Sobel end-game: a constant-bound loop loading tbl[k] with a
+           constant table unrolls; after unrolling the indices are
+           constants. (Folding the loads themselves would need the dense
+           initializer in the kernel — here we check the unroll exposes
+           constant indices.) *)
+        let _m, f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Ptr Types.f32; K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ tbl; out ] ->
+                let i = K.gid b item 0 in
+                let zero = A.const_index b 0 in
+                let three = A.const_index b 3 in
+                let one = A.const_index b 1 in
+                let loop =
+                  Dialects.Scf.for_ b ~lb:zero ~ub:three ~step:one
+                    ~iter_args:[ K.fconst b 0.0 ]
+                    (fun bb k acc ->
+                      [ K.addf bb (List.hd acc) (K.ptr_get bb tbl k) ])
+                in
+                K.acc_set b out [ i ] (Core.result loop 0)
+              | _ -> assert false)
+        in
+        let stats = Pass.Stats.create () in
+        Sycl_core.Loop_unroll.run_on_func f stats;
+        Alcotest.(check int) "unrolled" 1 (Pass.Stats.get stats "unroll.unrolled");
+        let loads = Core.collect_named f "memref.load" in
+        Alcotest.(check int) "three loads" 3 (List.length loads);
+        List.iter
+          (fun ld ->
+            let _, idx = Dialects.Memref.load_parts ld in
+            Alcotest.(check bool) "constant index" true
+              (Rewrite.constant_of_value (List.hd idx) <> None))
+          loads);
+  ]
+
+let tests = ("inline-and-unroll", tests_list)

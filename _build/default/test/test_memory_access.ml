@@ -1,0 +1,193 @@
+(* Memory-access analysis tests (Section V-D), including the paper's
+   Listing 3 example with its access matrix
+
+       ( 1 0 0 )   (gid_x)   ( 1 )
+       ( 0 0 2 ) x (gid_y) + ( 0 )
+       ( 0 1 2 )   (  i  )   ( 2 )
+*)
+
+open Mlir
+module A = Dialects.Arith
+module MA = Sycl_core.Memory_access
+module RD = Sycl_core.Reaching_defs
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+
+let matrix_of (a : MA.access) = Array.map Array.copy a.MA.matrix
+
+let analyze_kernel f =
+  let rd = RD.analyze_with_args f in
+  let loop = List.hd (Core.collect f ~p:Dialects.Scf.is_for) in
+  MA.analyze_loop ~kernel:f rd loop
+
+(* Column order check: global ids first (dimension order), then loop ivs. *)
+let col_kinds (a : MA.access) =
+  List.map
+    (function
+      | MA.Global_id d -> Printf.sprintf "g%d" d
+      | MA.Local_id d -> Printf.sprintf "l%d" d
+      | MA.Loop_iv _ -> "iv")
+    a.MA.vars
+
+let tests_list =
+  [
+    Alcotest.test_case "paper Listing 3: matrix and offsets" `Quick (fun () ->
+        (* 2-D kernel, 3-D accessor: index [gid_x + 1, 2*i, gid_y + 2*i + 2],
+           built through a sycl.constructor id (the listing's shape). *)
+        let _m, f =
+          Helpers.with_kernel ~dims:2 ~args:[ K.Acc (3, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let gx = K.gid b item 0 in
+              let gy = K.gid b item 1 in
+              let c1 = A.const_index b 1 in
+              let c2 = A.const_index b 2 in
+              K.for_range b ~lb:(A.const_index b 0) ~ub:(A.const_index b 64)
+                ~step:c1 (fun bb i ->
+                  let add1 = A.addi bb gx c1 in
+                  let mul1 = A.muli bb i c2 in
+                  let add1a = A.addi bb mul1 c2 in
+                  let add1b = A.addi bb add1a gy in
+                  let id_mem =
+                    Builder.op1 bb "memref.alloca" ~operands:[]
+                      ~result_type:
+                        (Types.memref ~space:Types.Private [ Some 1 ] (S.id 3))
+                  in
+                  Sycl_core.Sycl_ops.constructor bb "id" id_mem [ add1; mul1; add1b ];
+                  let view = Sycl_core.Sycl_ops.accessor_subscript bb acc id_mem in
+                  ignore (Dialects.Memref.load bb view [ A.const_index bb 0 ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check (list string)) "columns" [ "g0"; "g1"; "iv" ] (col_kinds a);
+          Alcotest.(check (array (array int))) "matrix"
+            [| [| 1; 0; 0 |]; [| 0; 0; 2 |]; [| 0; 1; 2 |] |]
+            (matrix_of a);
+          Alcotest.(check (array int)) "offsets" [| 1; 0; 2 |] a.MA.offsets;
+          Alcotest.(check bool) "temporal reuse" true a.MA.temporal_reuse
+        | other ->
+          Alcotest.failf "expected exactly one access, got %d" (List.length other));
+    Alcotest.test_case "gemm A[i][k]: thread-invariant in fastest dim, reuse" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:2 ~args:[ K.Acc (2, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let i = K.gid b item 0 in
+              K.for_up b (A.const_index b 64) (fun bb k ->
+                  ignore (K.acc_get bb acc [ i; k ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check string) "coalescing" "thread-invariant"
+            (MA.coalescing_to_string a.MA.coalescing);
+          Alcotest.(check bool) "temporal reuse" true a.MA.temporal_reuse
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "gemm B[k][j]: linear (coalesced), reuse" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:2 ~args:[ K.Acc (2, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let j = K.gid b item 1 in
+              K.for_up b (A.const_index b 64) (fun bb k ->
+                  ignore (K.acc_get bb acc [ k; j ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check string) "coalescing" "linear"
+            (MA.coalescing_to_string a.MA.coalescing)
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "transposed access B[j][k] is non-coalesced" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:2 ~args:[ K.Acc (2, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let j = K.gid b item 1 in
+              K.for_up b (A.const_index b 64) (fun bb k ->
+                  ignore (K.acc_get bb acc [ j; k ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check string) "coalescing" "non-coalesced"
+            (MA.coalescing_to_string a.MA.coalescing)
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "reverse-linear access detected" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Acc (1, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let i = K.gid b item 0 in
+              let n = A.const_index b 1023 in
+              K.for_up b (A.const_index b 4) (fun bb k ->
+                  let rev = A.subi bb n i in
+                  ignore (K.acc_get bb acc [ A.addi bb rev k ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check string) "coalescing" "reverse-linear"
+            (MA.coalescing_to_string a.MA.coalescing)
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "no temporal reuse without iv dependence" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Acc (1, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let i = K.gid b item 0 in
+              K.for_up b (A.const_index b 4) (fun bb _k ->
+                  ignore (K.acc_get bb acc [ i ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check bool) "no reuse" false a.MA.temporal_reuse;
+          Alcotest.(check string) "linear" "linear"
+            (MA.coalescing_to_string a.MA.coalescing)
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "non-affine (indirect) accesses are skipped" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ data; idx ] ->
+                let i = K.gid b item 0 in
+                K.for_up b (A.const_index b 4) (fun bb k ->
+                    let fidx = K.acc_get bb idx [ A.addi bb i k ] in
+                    let j =
+                      A.index_cast bb (A.fptosi bb fidx Types.i64) Types.Index
+                    in
+                    ignore (K.acc_get bb data [ j ]))
+              | _ -> assert false)
+        in
+        let accesses = analyze_kernel f in
+        (* Only the idx load is analyzable; the indirect data load is not. *)
+        Alcotest.(check int) "one analyzable access" 1 (List.length accesses));
+    Alcotest.test_case "stores are analyzed with kind Store" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let acc = List.hd args in
+              let i = K.gid b item 0 in
+              K.for_up b (A.const_index b 4) (fun bb k ->
+                  K.acc_set bb acc [ A.addi bb i k ] (K.fconst bb 1.0)))
+        in
+        match analyze_kernel f with
+        | [ a ] -> Alcotest.(check bool) "is store" true (a.MA.kind = MA.Store)
+        | _ -> Alcotest.fail "expected one access");
+    Alcotest.test_case "local-memory tile accesses analyzable as plain memrefs" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_kernel ~dims:2 ~nd:true ~args:[] (fun b ~item ~args:_ ->
+              let tile = Dialects.Gpu.alloc_local b [ 16; 16 ] Types.f32 in
+              let x = K.lid b item 0 in
+              K.for_up b (A.const_index b 16) (fun bb k ->
+                  ignore (Dialects.Memref.load bb tile [ x; k ])))
+        in
+        match analyze_kernel f with
+        | [ a ] ->
+          Alcotest.(check bool) "no accessor" true (a.MA.accessor = None);
+          Alcotest.(check (list string)) "columns include local id"
+            [ "g0"; "g1"; "l0"; "iv" ] (col_kinds a)
+        | _ -> Alcotest.fail "expected one access");
+  ]
+
+let tests = ("memory-access", tests_list)

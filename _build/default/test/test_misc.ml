@@ -1,0 +1,178 @@
+(* Miscellaneous unit coverage: type/attr helpers, printer summaries,
+   SYCL type metadata, registry value-level effect queries, host-side
+   control flow. *)
+
+open Mlir
+module A = Dialects.Arith
+module S = Sycl_core.Sycl_types
+module R = Op_registry
+
+let tests_list =
+  [
+    Alcotest.test_case "type predicates" `Quick (fun () ->
+        Alcotest.(check bool) "i32 is int" true (Types.is_integer Types.i32);
+        Alcotest.(check bool) "index is int-or-index" true
+          (Types.is_int_or_index Types.Index);
+        Alcotest.(check bool) "f32 is float" true (Types.is_float Types.f32);
+        Alcotest.(check bool) "memref is memref" true
+          (Types.is_memref (Types.memref_dyn Types.f32));
+        Alcotest.(check bool) "f32 not memref" false (Types.is_memref Types.f32));
+    Alcotest.test_case "memspace string round trip" `Quick (fun () ->
+        List.iter
+          (fun sp ->
+            Alcotest.(check bool) "round trips" true
+              (Types.memspace_of_string (Types.memspace_to_string sp) = Some sp))
+          [ Types.Global; Types.Local; Types.Private ]);
+    Alcotest.test_case "attr accessors" `Quick (fun () ->
+        Alcotest.(check (option int)) "int" (Some 3) (Attr.as_int (Attr.Int 3));
+        Alcotest.(check (option int)) "bool as int" (Some 1) (Attr.as_int (Attr.Bool true));
+        Alcotest.(check (option bool)) "int as bool" (Some true) (Attr.as_bool (Attr.Int 2));
+        Alcotest.(check bool) "string mismatch" true (Attr.as_int (Attr.String "x") = None);
+        Alcotest.(check bool) "numeric" true (Attr.is_numeric (Attr.Float 1.0));
+        Alcotest.(check bool) "symbol not numeric" false (Attr.is_numeric (Attr.Symbol "s")));
+    Alcotest.test_case "sycl type metadata" `Quick (fun () ->
+        Alcotest.(check int) "id<3> cells" 3 (S.flat_cells (S.id 3));
+        Alcotest.(check int) "item<2> cells" 6 (S.flat_cells (S.item 2));
+        Alcotest.(check int) "nd_item<2> cells" 12 (S.flat_cells (S.nd_item 2));
+        Alcotest.(check (option int)) "accessor dims" (Some 2)
+          (S.dims_of (S.accessor ~dims:2 Types.f32));
+        Alcotest.(check bool) "item is item-like" true (S.is_item_like (S.item 1));
+        Alcotest.(check bool) "accessor detected" true
+          (S.is_accessor (S.local_accessor ~dims:1 Types.f32)));
+    Alcotest.test_case "printer summary is concise" `Quick (fun () ->
+        Helpers.init ();
+        let _m, f =
+          Helpers.with_func ~args:[ Types.i64 ] (fun b vals ->
+              ignore (A.addi b (List.hd vals) (List.hd vals)))
+        in
+        let add = List.hd (Core.collect_named f "arith.addi") in
+        let s = Printer.summary add in
+        Alcotest.(check bool) "mentions op name" true
+          (String.length s < 40
+          && String.sub s 0 10 = "arith.addi"));
+    Alcotest.test_case "effects_on_value distinguishes operands" `Quick (fun () ->
+        Helpers.init ();
+        let _m, f =
+          Helpers.with_func
+            ~args:[ Types.memref_dyn Types.f32; Types.memref_dyn Types.f32 ]
+            (fun b vals ->
+              match vals with
+              | [ dst; src ] ->
+                let i = A.const_index b 0 in
+                let v = Dialects.Memref.load b src [ i ] in
+                Dialects.Memref.store b v dst [ i ]
+              | _ -> assert false)
+        in
+        let store = List.hd (Core.collect_named f "memref.store") in
+        let dst = Core.block_arg (Core.func_body f) 0 in
+        let src = Core.block_arg (Core.func_body f) 1 in
+        Alcotest.(check bool) "writes dst" true
+          (R.effects_on_value store dst = Some [ R.Write ]);
+        Alcotest.(check bool) "does not touch src" true
+          (R.effects_on_value store src = Some []));
+    Alcotest.test_case "host interpreter handles scf.if and arithmetic" `Quick
+      (fun () ->
+        (* A host program whose iteration count comes through host-side
+           arithmetic and a conditional. *)
+        let module K = Sycl_frontend.Kernel in
+        let module Host = Sycl_frontend.Host in
+        let module HI = Sycl_runtime.Host_interp in
+        let module Memory = Sycl_sim.Memory in
+        let m = Helpers.fresh_module () in
+        ignore
+          (K.define m ~name:"inc" ~dims:1
+             ~args:[ K.Acc (1, S.Read_write, Types.f32) ]
+             (fun b ~item ~args ->
+               let i = K.gid b item 0 in
+               K.acc_update b (List.hd args) [ i ] (fun v ->
+                   K.addf b v (K.fconst b 1.0))));
+        (* Build main by hand to include host-side if/arith. *)
+        ignore
+          (Host.emit m
+             {
+               Host.host_args = [ Types.memref_dyn Types.f32; Types.Index ];
+               buffers =
+                 [ { Host.buf_data_arg = 0; buf_dims = [ Host.Arg 1 ];
+                     buf_element = Types.f32 } ];
+               globals = [];
+               body =
+                 [ Host.Repeat
+                     ( Host.Const 3,
+                       [ Host.Submit
+                           { Host.cg_kernel = "inc"; cg_global = [ Host.Arg 1 ];
+                             cg_local = None;
+                             cg_captures = [ Host.Capture_acc (0, S.Read_write) ] } ] ) ];
+             });
+        let _ = Pass.run_pipeline [ Sycl_core.Host_raising.pass ] m in
+        let data = Memory.alloc ~size:8 () in
+        let r =
+          HI.run ~module_op:m
+            [ HI.Scalar (Sycl_sim.Interp.Mem (Memory.full_view data));
+              HI.Scalar (Sycl_sim.Interp.I 8) ]
+        in
+        Alcotest.(check int) "three launches" 3 r.HI.kernel_launches;
+        Alcotest.(check (float 1e-6)) "value incremented thrice" 3.0
+          (Memory.cell_to_float data.Memory.data.(0)));
+    Alcotest.test_case "item linear id linearizes row-major" `Quick (fun () ->
+        let module K = Sycl_frontend.Kernel in
+        let module Interp = Sycl_sim.Interp in
+        let module Memory = Sycl_sim.Memory in
+        let m = Helpers.fresh_module () in
+        let k =
+          K.define m ~name:"lin" ~dims:2 ~args:[ K.Acc (2, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let i = K.gid b item 0 and j = K.gid b item 1 in
+              let l =
+                Builder.op1 b "sycl.item.get_linear_id" ~operands:[ item ]
+                  ~result_type:Types.Index
+              in
+              K.acc_set b out [ i; j ]
+                (A.sitofp b (A.index_cast b l Types.i64) Types.f32))
+        in
+        let out = Memory.alloc ~size:16 () in
+        let desc =
+          Interp.Acc
+            { Interp.a_alloc = out; a_range = [| 4; 4 |]; a_mem_range = [| 4; 4 |];
+              a_offset = [| 0; 0 |]; a_is_float = true }
+        in
+        ignore
+          (Interp.launch ~module_op:m ~kernel:k ~args:[| Interp.Item; desc |]
+             ~global:[ 4; 4 ] ~wg_size:[ 2; 2 ] ());
+        let ok = ref true in
+        Array.iteri
+          (fun idx c ->
+            if Float.abs (Memory.cell_to_float c -. float_of_int idx) > 1e-6 then
+              ok := false)
+          out.Memory.data;
+        Alcotest.(check bool) "linear ids" true !ok);
+    Alcotest.test_case "group ids exposed correctly" `Quick (fun () ->
+        let module K = Sycl_frontend.Kernel in
+        let module Interp = Sycl_sim.Interp in
+        let module Memory = Sycl_sim.Memory in
+        let m = Helpers.fresh_module () in
+        let k =
+          K.define m ~name:"grp" ~dims:1 ~nd:true
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let i = K.gid b item 0 in
+              let dim = A.const_int b ~ty:Types.i32 0 in
+              let g = Sycl_core.Sycl_ops.nd_item_get_group_id b item dim in
+              K.acc_set b out [ i ]
+                (A.sitofp b (A.index_cast b g Types.i64) Types.f32))
+        in
+        let out = Memory.alloc ~size:16 () in
+        let desc =
+          Interp.Acc
+            { Interp.a_alloc = out; a_range = [| 16 |]; a_mem_range = [| 16 |];
+              a_offset = [| 0 |]; a_is_float = true }
+        in
+        ignore
+          (Interp.launch ~module_op:m ~kernel:k ~args:[| Interp.Item; desc |]
+             ~global:[ 16 ] ~wg_size:[ 4 ] ());
+        Alcotest.(check (float 1e-6)) "item 9 in group 2" 2.0
+          (Memory.cell_to_float out.Memory.data.(9)));
+  ]
+
+let tests = ("misc", tests_list)

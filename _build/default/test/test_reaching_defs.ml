@@ -1,0 +1,176 @@
+(* Reaching-definition analysis tests (Section V-B), including the
+   paper's Listing 1 scenario: a direct store is a MOD, a store through a
+   may-aliased pointer is a PMOD. *)
+
+open Mlir
+module A = Dialects.Arith
+module RD = Sycl_core.Reaching_defs
+
+let names ops = List.map (fun (o : Core.op) -> o.Core.name) ops
+
+let store_value_const (o : Core.op) =
+  let v, _, _ = Dialects.Memref.store_parts o in
+  Core.attr (Option.get (Core.defining_op v)) "value"
+
+let tests_list =
+  [
+    Alcotest.test_case "paper Listing 1: MODS vs PMODS" `Quick (fun () ->
+        (* func(%ptr1, %ptr2) { store a -> ptr1; store b -> ptr2; load ptr1 } *)
+        let _m, f =
+          Helpers.with_func
+            ~args:[ Types.memref_dyn Types.f32; Types.memref_dyn Types.f32 ]
+            (fun b vals ->
+              match vals with
+              | [ p1; p2 ] ->
+                let i = A.const_index b 0 in
+                Dialects.Memref.store b (A.const_float b 1.0) p1 [ i ];
+                Dialects.Memref.store b (A.const_float b 2.0) p2 [ i ];
+                ignore (Dialects.Memref.load b p1 [ i ])
+              | _ -> assert false)
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let p1 = Core.block_arg (Core.func_body f) 0 in
+        let defs = RD.defs_at rd p1 ~at:load in
+        Alcotest.(check int) "one MOD" 1 (List.length defs.RD.mods);
+        Alcotest.(check int) "one PMOD" 1 (List.length defs.RD.pmods);
+        Alcotest.(check bool) "MOD is store a" true
+          (store_value_const (List.hd defs.RD.mods) = Some (Attr.Float 1.0));
+        Alcotest.(check bool) "PMOD is store b" true
+          (store_value_const (List.hd defs.RD.pmods) = Some (Attr.Float 2.0)));
+    Alcotest.test_case "stores to distinct allocas do not interfere" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_func (fun b _ ->
+              let a1 = Dialects.Memref.alloca b [ 1 ] Types.f32 in
+              let a2 = Dialects.Memref.alloca b [ 1 ] Types.f32 in
+              let i = A.const_index b 0 in
+              Dialects.Memref.store b (A.const_float b 1.0) a1 [ i ];
+              Dialects.Memref.store b (A.const_float b 2.0) a2 [ i ];
+              ignore (Dialects.Memref.load b a1 [ i ]))
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let a1 = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd a1 ~at:load in
+        Alcotest.(check int) "one MOD" 1 (List.length defs.RD.mods);
+        Alcotest.(check int) "no PMODs" 0 (List.length defs.RD.pmods));
+    Alcotest.test_case "definite overwrite of a scalar kills previous defs" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_func (fun b _ ->
+              let a = Dialects.Memref.alloca b [ 1 ] Types.f32 in
+              let i = A.const_index b 0 in
+              Dialects.Memref.store b (A.const_float b 1.0) a [ i ];
+              Dialects.Memref.store b (A.const_float b 2.0) a [ i ];
+              ignore (Dialects.Memref.load b a [ i ]))
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let a = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd a ~at:load in
+        Alcotest.(check int) "only the killing store" 1 (List.length defs.RD.mods);
+        Alcotest.(check bool) "it is the second store" true
+          (store_value_const (List.hd defs.RD.mods) = Some (Attr.Float 2.0)));
+    Alcotest.test_case "array stores accumulate (no kill)" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_func (fun b _ ->
+              let a = Dialects.Memref.alloca b [ 8 ] Types.f32 in
+              Dialects.Memref.store b (A.const_float b 1.0) a [ A.const_index b 0 ];
+              Dialects.Memref.store b (A.const_float b 2.0) a [ A.const_index b 1 ];
+              ignore (Dialects.Memref.load b a [ A.const_index b 0 ]))
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let a = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd a ~at:load in
+        Alcotest.(check int) "both stores reach" 2 (List.length defs.RD.mods));
+    Alcotest.test_case "branches join their definitions" `Quick (fun () ->
+        let _m, f =
+          Helpers.with_func ~args:[ Types.i1 ] (fun b vals ->
+              let c = List.hd vals in
+              let a = Dialects.Memref.alloca b [ 8 ] Types.f32 in
+              ignore
+                (Dialects.Scf.if_ b c
+                   ~then_:(fun bb ->
+                     Dialects.Memref.store bb (A.const_float bb 1.0) a
+                       [ A.const_index bb 0 ];
+                     [])
+                   ~else_:(fun bb ->
+                     Dialects.Memref.store bb (A.const_float bb 2.0) a
+                       [ A.const_index bb 0 ];
+                     [])
+                   ());
+              ignore (Dialects.Memref.load b a [ A.const_index b 0 ]))
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let a = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd a ~at:load in
+        Alcotest.(check int) "both branch stores reach" 2 (List.length defs.RD.mods));
+    Alcotest.test_case "loop-carried definitions reach later iterations" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_func (fun b _ ->
+              let a = Dialects.Memref.alloca b [ 8 ] Types.f32 in
+              let lb = A.const_index b 0 in
+              let ub = A.const_index b 4 in
+              let one = A.const_index b 1 in
+              ignore
+                (Dialects.Scf.for_ b ~lb ~ub ~step:one (fun bb iv _ ->
+                     (* load sees the store from previous iterations *)
+                     ignore (Dialects.Memref.load bb a [ iv ]);
+                     Dialects.Memref.store bb (A.const_float bb 1.0) a [ iv ];
+                     [])))
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let a = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd a ~at:load in
+        Alcotest.(check int) "store reaches across the back edge" 1
+          (List.length defs.RD.mods));
+    Alcotest.test_case "unknown calls become PMODs of everything" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore (Dialects.Func.declare m "mystery" ~args:[] ~results:[]);
+        let f =
+          Dialects.Func.func m "f" ~args:[ Types.memref_dyn Types.f32 ] ~results:[]
+            (fun b vals ->
+              let p = List.hd vals in
+              let i = A.const_index b 0 in
+              Dialects.Memref.store b (A.const_float b 1.0) p [ i ];
+              ignore (Dialects.Func.call b "mystery" ~operands:[] ~results:[]);
+              ignore (Dialects.Memref.load b p [ i ]);
+              Dialects.Func.return b [])
+        in
+        let rd = RD.analyze_with_args f in
+        let load = List.hd (Core.collect_named f "memref.load") in
+        let p = Core.block_arg (Core.func_body f) 0 in
+        let defs = RD.defs_at rd p ~at:load in
+        Alcotest.(check bool) "call appears as PMOD" true
+          (List.exists (fun (o : Core.op) -> o.Core.name = "func.call") defs.RD.pmods));
+    Alcotest.test_case "sycl.constructor is a definite definition of its id" `Quick
+      (fun () ->
+        let _m, f =
+          Helpers.with_func (fun b _ ->
+              let id =
+                Builder.op1 b "memref.alloca" ~operands:[]
+                  ~result_type:
+                    (Types.memref ~space:Types.Private [ Some 1 ]
+                       (Sycl_core.Sycl_types.id 2))
+              in
+              let i = A.const_index b 3 in
+              Sycl_core.Sycl_ops.constructor b "id" id [ i; i ];
+              Sycl_core.Sycl_ops.constructor b "id" id [ i; i ];
+              ignore (Sycl_core.Sycl_ops.id_get b id (A.const_int b ~ty:Types.i32 0)))
+        in
+        let rd = RD.analyze_with_args f in
+        let get = List.hd (Core.collect_named f "sycl.id.get") in
+        let id = Core.result (List.hd (Core.collect_named f "memref.alloca")) 0 in
+        let defs = RD.defs_at rd id ~at:get in
+        (* The second constructor killed the first. *)
+        Alcotest.(check int) "one MOD" 1 (List.length defs.RD.mods);
+        Alcotest.(check (list string)) "it is the constructor"
+          [ "sycl.constructor" ] (names defs.RD.mods));
+  ]
+
+let tests = ("reaching-defs", tests_list)

@@ -1,0 +1,165 @@
+(* Detect-reduction tests (Section VI-B): the Listing 4 -> Listing 5
+   rewrite, versioning for unknown trip counts, aliasing blockers, and
+   result equivalence under the interpreter. *)
+
+open Mlir
+module A = Dialects.Arith
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+
+let run_reduction f =
+  let stats = Pass.Stats.create () in
+  Sycl_core.Detect_reduction.run_on_func f stats;
+  stats
+
+(* A kernel accumulating into out[0]: out[0] += a[iv], with constant or
+   argument trip count. *)
+let accum_kernel ~const_trip =
+  Helpers.with_kernel ~dims:1
+    ~args:
+      [ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Read_write, Types.f32);
+        K.Scal Types.Index ]
+    (fun b ~item:_ ~args ->
+      match args with
+      | [ a; out; n ] ->
+        let zero = A.const_index b 0 in
+        let one = A.const_index b 1 in
+        let ub = if const_trip then A.const_index b 8 else n in
+        let out0 = K.acc_view b out [ zero ] in
+        ignore
+          (Dialects.Scf.for_ b ~lb:zero ~ub ~step:one (fun bb iv _ ->
+               let v = K.acc_get bb a [ iv ] in
+               let cur = Dialects.Memref.load bb out0 [ zero ] in
+               Dialects.Memref.store bb (A.addf bb cur v) out0 [ zero ];
+               []))
+      | _ -> assert false)
+
+let with_noalias (m, f) =
+  Sycl_core.Alias.add_noalias_pair f 1 2;
+  (m, f)
+
+let tests_list =
+  [
+    Alcotest.test_case "constant-trip reduction rewrites without a guard" `Quick
+      (fun () ->
+        let m, f = with_noalias (accum_kernel ~const_trip:true) in
+        let stats = run_reduction f in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "one reduction" 1
+          (Pass.Stats.get stats "reduction.rewritten");
+        Alcotest.(check int) "no guard needed" 0 (Helpers.count_ops f "scf.if");
+        (* The loop now carries one iter arg and yields it. *)
+        let loop = List.hd (Core.collect_named f "scf.for") in
+        Alcotest.(check int) "one loop result" 1 (Core.num_results loop);
+        (* Exactly one load before and one store after the loop remain. *)
+        Alcotest.(check int) "loads out of loop" 1
+          (List.length
+             (List.filter
+                (fun (o : Core.op) ->
+                  not (Core.is_in_region loop.Core.regions.(0) o))
+                (Core.collect_named f "memref.load"))));
+    Alcotest.test_case "unknown trip count versions with lb < ub" `Quick (fun () ->
+        let m, f = with_noalias (accum_kernel ~const_trip:false) in
+        let stats = run_reduction f in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "one reduction" 1
+          (Pass.Stats.get stats "reduction.rewritten");
+        Alcotest.(check int) "guard present" 1 (Helpers.count_ops f "scf.if"));
+    Alcotest.test_case "may-aliasing accessors block the rewrite" `Quick (fun () ->
+        (* No host facts: a and out may alias, so the loads from a block
+           the transformation. *)
+        let _m, f = accum_kernel ~const_trip:true in
+        let stats = run_reduction f in
+        Alcotest.(check int) "no reduction" 0
+          (Pass.Stats.get stats "reduction.rewritten"));
+    Alcotest.test_case "store not depending on the load is not a reduction" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_kernel ~dims:1
+            ~args:[ K.Acc (1, S.Read_write, Types.f32) ]
+            (fun b ~item:_ ~args ->
+              let out = List.hd args in
+              let zero = A.const_index b 0 in
+              let one = A.const_index b 1 in
+              let out0 = K.acc_view b out [ zero ] in
+              ignore
+                (Dialects.Scf.for_ b ~lb:zero ~ub:(A.const_index b 8) ~step:one
+                   (fun bb _iv _ ->
+                     let _cur = Dialects.Memref.load bb out0 [ zero ] in
+                     Dialects.Memref.store bb (A.const_float bb 1.0) out0 [ zero ];
+                     [])))
+        in
+        ignore m;
+        let stats = run_reduction f in
+        Alcotest.(check int) "no reduction" 0
+          (Pass.Stats.get stats "reduction.rewritten"));
+    Alcotest.test_case "multiple reductions in one loop all rewrite" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_kernel ~dims:1
+            ~args:
+              [ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Read_write, Types.f32);
+                K.Acc (1, S.Read_write, Types.f32) ]
+            (fun b ~item:_ ~args ->
+              match args with
+              | [ a; s1; s2 ] ->
+                let zero = A.const_index b 0 in
+                let one = A.const_index b 1 in
+                let v1 = K.acc_view b s1 [ zero ] in
+                let v2 = K.acc_view b s2 [ zero ] in
+                ignore
+                  (Dialects.Scf.for_ b ~lb:zero ~ub:(A.const_index b 8) ~step:one
+                     (fun bb iv _ ->
+                       let x = K.acc_get bb a [ iv ] in
+                       let c1 = Dialects.Memref.load bb v1 [ zero ] in
+                       Dialects.Memref.store bb (A.addf bb c1 x) v1 [ zero ];
+                       let c2 = Dialects.Memref.load bb v2 [ zero ] in
+                       Dialects.Memref.store bb (A.mulf bb c2 x) v2 [ zero ];
+                       []))
+              | _ -> assert false)
+        in
+        let k = Option.get (Core.lookup_func m "k") in
+        Sycl_core.Alias.add_noalias_pair k 1 2;
+        Sycl_core.Alias.add_noalias_pair k 1 3;
+        Sycl_core.Alias.add_noalias_pair k 2 3;
+        let stats = run_reduction f in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "two reductions" 2
+          (Pass.Stats.get stats "reduction.rewritten"));
+    Alcotest.test_case "paper Listing 4/5: loop becomes iter_args accumulation"
+      `Quick (fun () ->
+        (* affine.for with a [0]-indexed load/store through %ptr. *)
+        let m, f =
+          Helpers.with_kernel ~dims:1
+            ~args:[ K.Acc (1, S.Read_write, Types.f32); K.Acc (1, S.Read, Types.f32) ]
+            (fun b ~item:_ ~args ->
+              match args with
+              | [ ptr; other ] ->
+                let zero = A.const_index b 0 in
+                let p0 = K.acc_view b ptr [ zero ] in
+                ignore
+                  (Dialects.Affine_ops.for_ b ~lb:(Dialects.Affine_ops.Const 0)
+                     ~ub:(Dialects.Affine_ops.Const 16) (fun bb iv _ ->
+                       let v = Dialects.Memref.load bb p0 [ zero ] in
+                       let o = K.acc_get bb other [ iv ] in
+                       Dialects.Memref.store bb (A.addf bb v o) p0 [ zero ];
+                       []))
+              | _ -> assert false)
+        in
+        let k = Option.get (Core.lookup_func m "k") in
+        Sycl_core.Alias.add_noalias_pair k 1 2;
+        let stats = run_reduction f in
+        Helpers.check_verifies m;
+        Alcotest.(check int) "rewritten" 1 (Pass.Stats.get stats "reduction.rewritten");
+        let loop = List.hd (Core.collect_named f "affine.for") in
+        Alcotest.(check int) "loop carries the scalar" 1 (Core.num_results loop);
+        (* No memory ops remain inside the loop except the 'other' load. *)
+        let in_loop =
+          List.filter
+            (fun (o : Core.op) -> Core.is_in_region loop.Core.regions.(0) o)
+            (Core.collect_named f "memref.store")
+        in
+        Alcotest.(check int) "no stores in loop" 0 (List.length in_loop));
+  ]
+
+let tests = ("detect-reduction", tests_list)

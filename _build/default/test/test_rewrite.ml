@@ -1,0 +1,201 @@
+(* Greedy rewriting, canonicalization, CSE and DCE tests. *)
+
+open Mlir
+module A = Dialects.Arith
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_pass pass m =
+  let stats = Pass.Stats.create () in
+  pass.Pass.run m stats;
+  stats
+
+let tests_list =
+  [
+    Alcotest.test_case "constants fold through arithmetic chains" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.i64 ] (fun b _ ->
+              let x = A.const_int b 6 in
+              let y = A.const_int b 7 in
+              let s = A.muli b x y in
+              let t = A.addi b s (A.const_int b 8) in
+              Dialects.Func.return b [ t ])
+        in
+        ignore (run_pass Sycl_core.Canonicalize.pass m);
+        (* Everything folds to one constant feeding the return. *)
+        let consts = Core.collect_named f "arith.constant" in
+        check_int "muls gone" 0 (Helpers.count_ops f "arith.muli");
+        check_bool "result constant is 50" true
+          (List.exists (fun c -> Core.attr c "value" = Some (Attr.Int 50)) consts));
+    Alcotest.test_case "dead pure ops erased" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func (fun b _ ->
+              let x = A.const_int b 1 in
+              ignore (A.addi b x x))
+        in
+        ignore (run_pass Sycl_core.Dce.pass m);
+        check_int "body only has return" 1 (List.length (Core.func_body f).Core.body));
+    Alcotest.test_case "scf.if with constant condition inlines taken branch" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let mem = List.hd vals in
+              let c = A.const_bool b false in
+              ignore
+                (Dialects.Scf.if_ b c
+                   ~then_:(fun bb ->
+                     Dialects.Memref.store bb (A.const_float bb 1.0) mem
+                       [ A.const_index bb 0 ];
+                     [])
+                   ~else_:(fun bb ->
+                     Dialects.Memref.store bb (A.const_float bb 2.0) mem
+                       [ A.const_index bb 0 ];
+                     [])
+                   ()))
+        in
+        ignore (run_pass Sycl_core.Canonicalize.pass m);
+        check_int "if gone" 0 (Helpers.count_ops f "scf.if");
+        let stores = Core.collect_named f "memref.store" in
+        check_int "one store left" 1 (List.length stores);
+        (* The else branch (2.0) was taken. *)
+        let v, _, _ = Dialects.Memref.store_parts (List.hd stores) in
+        check_bool "took else" true
+          (Core.attr (Option.get (Core.defining_op v)) "value" = Some (Attr.Float 2.0)));
+    Alcotest.test_case "zero-trip scf.for folds away" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let mem = List.hd vals in
+              let lb = A.const_index b 5 in
+              let ub = A.const_index b 5 in
+              let one = A.const_index b 1 in
+              ignore
+                (Dialects.Scf.for_ b ~lb ~ub ~step:one (fun bb iv _ ->
+                     Dialects.Memref.store bb (A.const_float bb 1.0) mem [ iv ];
+                     [])))
+        in
+        ignore (run_pass Sycl_core.Canonicalize.pass m);
+        check_int "loop gone" 0 (Helpers.count_ops f "scf.for");
+        check_int "store gone" 0 (Helpers.count_ops f "memref.store"));
+    Alcotest.test_case "zero-trip loop with iter_args yields inits" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.f32 ] (fun b _ ->
+              let lb = A.const_index b 3 in
+              let ub = A.const_index b 1 in
+              let one = A.const_index b 1 in
+              let init = A.const_float b 9.0 in
+              let loop =
+                Dialects.Scf.for_ b ~lb ~ub ~step:one ~iter_args:[ init ]
+                  (fun bb _ args -> [ A.addf bb (List.hd args) (List.hd args) ])
+              in
+              Dialects.Func.return b [ Core.result loop 0 ])
+        in
+        ignore (run_pass Sycl_core.Canonicalize.pass m);
+        check_int "loop gone" 0 (Helpers.count_ops f "scf.for");
+        let ret = List.hd (Core.collect_named f "func.return") in
+        check_bool "returns the init constant" true
+          (Core.attr (Option.get (Core.defining_op (Core.operand ret 0))) "value"
+          = Some (Attr.Float 9.0)));
+    Alcotest.test_case "CSE merges identical pure ops" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i64 ] (fun b vals ->
+              let x = List.hd vals in
+              let a = A.addi b x x in
+              let b2 = A.addi b x x in
+              Dialects.Func.return b [ A.muli b a b2 ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        check_int "one addi left" 1 (Helpers.count_ops f "arith.addi"));
+    Alcotest.test_case "CSE respects result types" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.Index; Types.i32 ] (fun b _ ->
+              let a = A.const_index b 0 in
+              let b2 = A.const_int b ~ty:Types.i32 0 in
+              Dialects.Func.return b [ a; b2 ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        check_int "both constants kept" 2 (Helpers.count_ops f "arith.constant"));
+    Alcotest.test_case "CSE works across region nesting (outer visible inside)" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ] (fun b vals ->
+              let mem = List.hd vals in
+              let zero = A.const_index b 0 in
+              let c = A.const_bool b true in
+              ignore
+                (Dialects.Scf.if_ b c
+                   ~then_:(fun bb ->
+                     let zero' = A.const_index bb 0 in
+                     Dialects.Memref.store bb (A.const_float bb 1.0) mem [ zero' ];
+                     [])
+                   ());
+              ignore zero)
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        (* The inner index 0 merged with the outer one. *)
+        let consts =
+          List.filter
+            (fun (o : Core.op) -> Core.attr o "value" = Some (Attr.Int 0))
+            (Core.collect_named f "arith.constant")
+        in
+        check_int "one zero constant" 1 (List.length consts));
+    Alcotest.test_case "CSE does not merge loads" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func ~args:[ Types.memref_dyn Types.f32 ]
+            ~results:[ Types.f32 ] (fun b vals ->
+              let mem = List.hd vals in
+              let zero = A.const_index b 0 in
+              let a = Dialects.Memref.load b mem [ zero ] in
+              Dialects.Memref.store b (A.const_float b 3.0) mem [ zero ];
+              let c = Dialects.Memref.load b mem [ zero ] in
+              Dialects.Func.return b [ A.addf b a c ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        check_int "two loads kept" 2 (Helpers.count_ops f "memref.load"));
+    Alcotest.test_case "dead alloca with only stores removed" `Quick (fun () ->
+        let m, f =
+          Helpers.with_func (fun b _ ->
+              let mem = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              Dialects.Memref.store b (A.const_float b 1.0) mem [ A.const_index b 0 ])
+        in
+        ignore (run_pass Sycl_core.Dce.pass m);
+        check_int "alloca gone" 0 (Helpers.count_ops f "memref.alloca");
+        check_int "store gone" 0 (Helpers.count_ops f "memref.store"));
+    Alcotest.test_case "alloca with a load survives DCE when load is used" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.f32 ] (fun b _ ->
+              let mem = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              Dialects.Memref.store b (A.const_float b 1.0) mem [ A.const_index b 0 ];
+              let v = Dialects.Memref.load b mem [ A.const_index b 0 ] in
+              Dialects.Func.return b [ v ])
+        in
+        ignore (run_pass Sycl_core.Dce.pass m);
+        check_int "alloca kept" 1 (Helpers.count_ops f "memref.alloca"));
+    Alcotest.test_case "constant_of_value sees through defining constant" `Quick
+      (fun () ->
+        let _m, _f =
+          Helpers.with_func (fun b _ ->
+              let x = A.const_int b 5 in
+              check_bool "constant recovered" true
+                (Rewrite.constant_of_value x = Some (Attr.Int 5)))
+        in
+        ());
+    Alcotest.test_case "canonicalize folds sitofp of folded index math" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.f32 ] (fun b _ ->
+              let n = A.const_index b 64 in
+              let cast = A.index_cast b n Types.i64 in
+              Dialects.Func.return b [ A.sitofp b cast Types.f32 ])
+        in
+        ignore (run_pass Sycl_core.Canonicalize.pass m);
+        check_int "no casts left" 0
+          (Helpers.count_ops f "arith.index_cast" + Helpers.count_ops f "arith.sitofp");
+        let ret = List.hd (Core.collect_named f "func.return") in
+        check_bool "returns 64.0" true
+          (Core.attr (Option.get (Core.defining_op (Core.operand ret 0))) "value"
+          = Some (Attr.Float 64.0)));
+  ]
+
+let tests = ("rewrite", tests_list)

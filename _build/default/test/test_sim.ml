@@ -1,0 +1,313 @@
+(* Device-simulator tests: interpretation semantics, barrier scheduling,
+   divergent-barrier deadlock detection, and the coalescing cost model. *)
+
+open Mlir
+module A = Dialects.Arith
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+module Interp = Sycl_sim.Interp
+module Memory = Sycl_sim.Memory
+module Cost = Sycl_sim.Cost
+
+let acc_desc ?(range = [| 16 |]) alloc =
+  Interp.Acc
+    {
+      Interp.a_alloc = alloc;
+      a_range = range;
+      a_mem_range = range;
+      a_offset = Array.map (fun _ -> 0) range;
+      a_is_float = true;
+    }
+
+let launch ?(wg = [ 16 ]) ?(global = [ 16 ]) m k args =
+  Interp.launch ~module_op:m ~kernel:k ~args ~global ~wg_size:wg ()
+
+let floats alloc =
+  Array.map
+    (function Memory.F f -> f | Memory.I i -> float_of_int i)
+    alloc.Memory.data
+
+let tests_list =
+  [
+    Alcotest.test_case "elementwise kernel computes correctly" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"twice" ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ a; c ] ->
+                let i = K.gid b item 0 in
+                K.acc_set b c [ i ] (K.mulf b (K.fconst b 2.0) (K.acc_get b a [ i ]))
+              | _ -> assert false)
+        in
+        let a = Memory.alloc ~label:"a" ~size:16 () in
+        let c = Memory.alloc ~label:"c" ~size:16 () in
+        Array.iteri (fun i _ -> a.Memory.data.(i) <- Memory.F (float_of_int i)) a.Memory.data;
+        ignore (launch m k [| Interp.Item; acc_desc a; acc_desc c |]);
+        Array.iteri
+          (fun i x -> Alcotest.(check (float 1e-6)) "c[i]" (2.0 *. float_of_int i) x)
+          (floats c));
+    Alcotest.test_case "loops, ifs and iter_args interpret correctly" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"sum_odd" ~dims:1
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let i = K.gid b item 0 in
+              let zero = A.const_index b 0 in
+              let one = A.const_index b 1 in
+              let two = A.const_index b 2 in
+              let ten = A.const_index b 10 in
+              (* sum of odd j in [0, 10) = 25 *)
+              let loop =
+                Dialects.Scf.for_ b ~lb:zero ~ub:ten ~step:one
+                  ~iter_args:[ K.fconst b 0.0 ]
+                  (fun bb j acc ->
+                    let r = A.remsi bb j two in
+                    let is_odd = A.cmpi bb A.Eq r one in
+                    let if_op =
+                      Dialects.Scf.if_ bb is_odd ~result_types:[ Types.f32 ]
+                        ~then_:(fun b2 ->
+                          [ K.addf b2 (List.hd acc)
+                              (A.sitofp b2 (A.index_cast b2 j Types.i64) Types.f32) ])
+                        ~else_:(fun _ -> [ List.hd acc ])
+                        ()
+                    in
+                    [ Core.result if_op 0 ])
+              in
+              K.acc_set b out [ i ] (Core.result loop 0))
+        in
+        let c = Memory.alloc ~label:"c" ~size:16 () in
+        ignore (launch m k [| Interp.Item; acc_desc c |]);
+        Array.iter (fun x -> Alcotest.(check (float 1e-6)) "sum" 25.0 x) (floats c));
+    Alcotest.test_case "device function calls work" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore
+          (Dialects.Func.func m "square" ~args:[ Types.f32 ] ~results:[ Types.f32 ]
+             (fun b vals ->
+               let x = List.hd vals in
+               Dialects.Func.return b [ K.mulf b x x ]));
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"k" ~dims:1
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let i = K.gid b item 0 in
+              let x = A.sitofp b (A.index_cast b i Types.i64) Types.f32 in
+              let r = Dialects.Func.call1 b "square" ~operands:[ x ] ~result:Types.f32 in
+              K.acc_set b out [ i ] r)
+        in
+        let c = Memory.alloc ~label:"c" ~size:16 () in
+        ignore (launch m k [| Interp.Item; acc_desc c |]);
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check (float 1e-6)) "i*i" (float_of_int (i * i)) x)
+          (floats c));
+    Alcotest.test_case "barrier synchronizes cooperative local-memory use" `Quick
+      (fun () ->
+        (* Each work-item writes tile[lid], barrier, then reads its
+           neighbour's slot (reversal): without correct phase scheduling
+           work-item 0 would read an unwritten slot. *)
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"rev" ~dims:1 ~nd:true
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let lid = K.lid b item 0 in
+              let gid = K.gid b item 0 in
+              let tile = Dialects.Gpu.alloc_local b [ 16 ] Types.f32 in
+              let v = A.sitofp b (A.index_cast b lid Types.i64) Types.f32 in
+              Dialects.Memref.store b v tile [ lid ];
+              Dialects.Gpu.barrier b;
+              let fifteen = A.const_index b 15 in
+              let mirror = A.subi b fifteen lid in
+              K.acc_set b out [ gid ] (Dialects.Memref.load b tile [ mirror ]))
+        in
+        let c = Memory.alloc ~label:"c" ~size:16 () in
+        let stats = launch m k [| Interp.Item; acc_desc c |] in
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check (float 1e-6)) "mirror" (float_of_int (15 - i)) x)
+          (floats c);
+        Alcotest.(check int) "one barrier round" 1 stats.Cost.barriers);
+    Alcotest.test_case "divergent barrier deadlocks (detected)" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"bad" ~dims:1 ~nd:true ~args:[]
+            (fun b ~item ~args:_ ->
+              let lid = K.lid b item 0 in
+              let zero = A.const_index b 0 in
+              let c = A.cmpi b A.Eq lid zero in
+              ignore
+                (Dialects.Scf.if_ b c
+                   ~then_:(fun bb ->
+                     Dialects.Gpu.barrier bb;
+                     [])
+                   ()))
+        in
+        Alcotest.(check bool) "raises Barrier_divergence" true
+          (match launch m k [| Interp.Item |] with
+          | _ -> false
+          | exception Interp.Barrier_divergence -> true));
+    Alcotest.test_case "coalesced loads cost one transaction per sub-group" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"coal" ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ a; c ] ->
+                let i = K.gid b item 0 in
+                K.acc_set b c [ i ] (K.acc_get b a [ i ])
+              | _ -> assert false)
+        in
+        let a = Memory.alloc ~label:"a" ~size:64 () in
+        let c = Memory.alloc ~label:"c" ~size:64 () in
+        let stats =
+          launch ~global:[ 64 ] ~wg:[ 64 ] m k
+            [| Interp.Item; acc_desc ~range:[| 64 |] a; acc_desc ~range:[| 64 |] c |]
+        in
+        (* 64 items / 16-wide sub-groups = 4 sub-groups; each does one
+           load line + one store line. *)
+        Alcotest.(check int) "8 transactions" 8 stats.Cost.global_transactions);
+    Alcotest.test_case "strided loads cost one transaction per work-item" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"strided" ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ a; c ] ->
+                let i = K.gid b item 0 in
+                let stride = A.const_index b 16 in
+                K.acc_set b c [ i ] (K.acc_get b a [ A.muli b i stride ])
+              | _ -> assert false)
+        in
+        let a = Memory.alloc ~label:"a" ~size:1024 () in
+        let c = Memory.alloc ~label:"c" ~size:64 () in
+        let stats =
+          launch ~global:[ 64 ] ~wg:[ 64 ] m k
+            [| Interp.Item; acc_desc ~range:[| 1024 |] a; acc_desc ~range:[| 64 |] c |]
+        in
+        (* Loads: 64 distinct lines; stores: 4 lines. *)
+        Alcotest.(check int) "68 transactions" 68 stats.Cost.global_transactions);
+    Alcotest.test_case "private allocas cost no memory transactions" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"priv" ~dims:1 ~args:[]
+            (fun b ~item ~args:_ ->
+              let _i = K.gid b item 0 in
+              let p = Dialects.Memref.alloca b [ 4 ] Types.f32 in
+              Dialects.Memref.store b (K.fconst b 1.0) p [ A.const_index b 0 ];
+              ignore (Dialects.Memref.load b p [ A.const_index b 0 ]))
+        in
+        let stats = launch m k [| Interp.Item |] in
+        Alcotest.(check int) "no global transactions" 0 stats.Cost.global_transactions;
+        Alcotest.(check int) "no local transactions" 0 stats.Cost.local_transactions);
+    Alcotest.test_case "constant-cached data uses the constant class" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"constk" ~dims:1
+            ~args:[ K.Ptr Types.f32; K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ p; c ] ->
+                let i = K.gid b item 0 in
+                K.acc_set b c [ i ] (K.ptr_get b p (A.const_index b 0))
+              | _ -> assert false)
+        in
+        let tbl = Memory.alloc ~label:"tbl" ~size:4 () in
+        tbl.Memory.constant_cached <- true;
+        let c = Memory.alloc ~label:"c" ~size:16 () in
+        let stats =
+          launch m k [| Interp.Item; Interp.Mem (Memory.full_view tbl); acc_desc c |]
+        in
+        Alcotest.(check bool) "constant transactions recorded" true
+          (stats.Cost.const_transactions > 0));
+    Alcotest.test_case "ranged accessor offsets shift addressing" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"ranged" ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32); K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              match args with
+              | [ a; c ] ->
+                let i = K.gid b item 0 in
+                K.acc_set b c [ i ] (K.acc_get b a [ i ])
+              | _ -> assert false)
+        in
+        let a = Memory.alloc ~label:"a" ~size:32 () in
+        Array.iteri (fun i _ -> a.Memory.data.(i) <- Memory.F (float_of_int i)) a.Memory.data;
+        let c = Memory.alloc ~label:"c" ~size:8 () in
+        let ranged =
+          Interp.Acc
+            {
+              Interp.a_alloc = a;
+              a_range = [| 8 |];
+              a_mem_range = [| 32 |];
+              a_offset = [| 16 |];
+              a_is_float = true;
+            }
+        in
+        ignore
+          (launch ~global:[ 8 ] ~wg:[ 8 ] m k
+             [| Interp.Item; ranged; acc_desc ~range:[| 8 |] c |]);
+        Array.iteri
+          (fun i x -> Alcotest.(check (float 1e-6)) "offset applied" (float_of_int (16 + i)) x)
+          (floats c));
+    Alcotest.test_case "out-of-bounds access raises" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"oob" ~dims:1
+            ~args:[ K.Acc (1, S.Read, Types.f32) ]
+            (fun b ~item ~args ->
+              let a = List.hd args in
+              let i = K.gid b item 0 in
+              let big = A.const_index b 1000 in
+              ignore (K.acc_get b a [ A.addi b i big ]))
+        in
+        let a = Memory.alloc ~label:"a" ~size:16 () in
+        Alcotest.(check bool) "raises Out_of_bounds" true
+          (match launch m k [| Interp.Item; acc_desc a |] with
+          | _ -> false
+          | exception Memory.Out_of_bounds _ -> true));
+    Alcotest.test_case "mismatched global/wg sizes rejected" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"k" ~dims:1 ~args:[]
+            (fun _b ~item:_ ~args:_ -> ())
+        in
+        Alcotest.(check bool) "raises Sim_error" true
+          (match launch ~global:[ 10 ] ~wg:[ 4 ] m k [| Interp.Item |] with
+          | _ -> false
+          | exception Interp.Sim_error _ -> true));
+    Alcotest.test_case "2-D launch covers the whole grid exactly once" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"grid" ~dims:2
+            ~args:[ K.Acc (2, S.Read_write, Types.f32) ]
+            (fun b ~item ~args ->
+              let c = List.hd args in
+              let i = K.gid b item 0 and j = K.gid b item 1 in
+              K.acc_update b c [ i; j ] (fun v -> K.addf b v (K.fconst b 1.0)))
+        in
+        let c = Memory.alloc ~label:"c" ~size:(8 * 8) () in
+        let stats =
+          launch ~global:[ 8; 8 ] ~wg:[ 4; 4 ] m k
+            [| Interp.Item; acc_desc ~range:[| 8; 8 |] c |]
+        in
+        Alcotest.(check int) "4 work-groups" 4 stats.Cost.work_groups;
+        Alcotest.(check int) "64 work-items" 64 stats.Cost.work_items;
+        Array.iter (fun x -> Alcotest.(check (float 1e-6)) "each once" 1.0 x) (floats c));
+  ]
+
+let tests = ("simulator", tests_list)

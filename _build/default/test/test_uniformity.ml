@@ -1,0 +1,192 @@
+(* Uniformity analysis tests (Section V-C), including the paper's
+   Listing 2 scenario: the global-id getter is a source of non-uniformity;
+   a value loaded from memory written under a divergent branch is
+   non-uniform; group-level queries stay uniform. *)
+
+open Mlir
+module A = Dialects.Arith
+module U = Sycl_core.Uniformity
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+
+let lat = Alcotest.testable (Fmt.of_to_string U.lattice_to_string) ( = )
+
+let tests_list =
+  [
+    Alcotest.test_case "global id is non-uniform; group id and ranges uniform" `Quick
+      (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~nd:true ~args:[] (fun b ~item ~args:_ ->
+              let dim = A.const_int b ~ty:Types.i32 0 in
+              let gid = Sycl_core.Sycl_ops.nd_item_get_global_id b item dim in
+              let grp = Sycl_core.Sycl_ops.nd_item_get_group_id b item dim in
+              let rng = Sycl_core.Sycl_ops.nd_item_get_global_range b item dim in
+              ignore (gid, grp, rng))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let gid = Core.result (List.hd (Core.collect_named f "sycl.nd_item.get_global_id")) 0 in
+        let grp = Core.result (List.hd (Core.collect_named f "sycl.nd_item.get_group_id")) 0 in
+        let rng = Core.result (List.hd (Core.collect_named f "sycl.nd_item.get_global_range")) 0 in
+        Alcotest.check lat "gid" U.Non_uniform (U.value t gid);
+        Alcotest.check lat "group id" U.Uniform (U.value t grp);
+        Alcotest.check lat "range" U.Uniform (U.value t rng));
+    Alcotest.test_case "non-uniformity propagates through arithmetic" `Quick
+      (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~args:[] (fun b ~item ~args:_ ->
+              let i = K.gid b item 0 in
+              let one = A.const_index b 1 in
+              let j = A.addi b i one in
+              ignore (A.cmpi b A.Sgt j one))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let cmp = Core.result (List.hd (Core.collect_named f "arith.cmpi")) 0 in
+        Alcotest.check lat "branch condition" U.Non_uniform (U.value t cmp));
+    Alcotest.test_case "constants and kernel parameters are uniform" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Scal Types.f32 ] (fun b ~item:_ ~args ->
+              let a = List.hd args in
+              ignore (K.mulf b a (K.fconst b 2.0)))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let mul = Core.result (List.hd (Core.collect_named f "arith.mulf")) 0 in
+        Alcotest.check lat "product" U.Uniform (U.value t mul));
+    Alcotest.test_case "paper Listing 2: divergent store makes a load non-uniform"
+      `Quick (fun () ->
+        (* %alloca written differently under a divergent branch; the load
+           afterwards is non-uniform even though its address is uniform. *)
+        let m, _f =
+          Helpers.with_kernel ~dims:2 ~nd:true ~args:[ K.Scal Types.Index ]
+            (fun b ~item ~args ->
+              let idx = List.hd args in
+              let alloca =
+                Builder.op1 b "memref.alloca" ~operands:[]
+                  ~result_type:(Types.memref ~space:Types.Private [ Some 10 ] Types.i64)
+              in
+              let dim = A.const_int b ~ty:Types.i32 0 in
+              let gid = Sycl_core.Sycl_ops.nd_item_get_global_id b item dim in
+              let zero = A.const_index b 0 in
+              let cond = A.cmpi b A.Sgt gid zero in
+              let c1 = A.const_int b 1 in
+              let c2 = A.const_int b 2 in
+              ignore
+                (Dialects.Scf.if_ b cond
+                   ~then_:(fun bb ->
+                     Dialects.Memref.store bb c1 alloca [ idx ];
+                     [])
+                   ~else_:(fun bb ->
+                     Dialects.Memref.store bb c2 alloca [ idx ];
+                     [])
+                   ());
+              let load = Dialects.Memref.load b alloca [ idx ] in
+              ignore (A.cmpi b A.Sgt load (A.const_int b 0)))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let load = Core.result (List.hd (Core.collect_named f "memref.load")) 0 in
+        Alcotest.check lat "loaded value" U.Non_uniform (U.value t load);
+        (* And the second condition (%cond1 in the paper) as well. *)
+        let conds = Core.collect_named f "arith.cmpi" in
+        let cond1 = Core.result (List.nth conds (List.length conds - 1)) 0 in
+        Alcotest.check lat "cond1" U.Non_uniform (U.value t cond1));
+    Alcotest.test_case "uniform store keeps loads uniform" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~args:[ K.Scal Types.Index ] (fun b ~item:_ ~args ->
+              let idx = List.hd args in
+              let alloca =
+                Builder.op1 b "memref.alloca" ~operands:[]
+                  ~result_type:(Types.memref ~space:Types.Private [ Some 10 ] Types.i64)
+              in
+              Dialects.Memref.store b (A.const_int b 7) alloca [ idx ];
+              ignore (Dialects.Memref.load b alloca [ idx ]))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let load = Core.result (List.hd (Core.collect_named f "memref.load")) 0 in
+        Alcotest.check lat "loaded value" U.Uniform (U.value t load));
+    Alcotest.test_case "loop iter args inherit non-uniform yields" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~args:[] (fun b ~item ~args:_ ->
+              let i = K.gid b item 0 in
+              let zero = A.const_index b 0 in
+              let four = A.const_index b 4 in
+              let one = A.const_index b 1 in
+              ignore
+                (Dialects.Scf.for_ b ~lb:zero ~ub:four ~step:one ~iter_args:[ zero ]
+                   (fun bb _ args -> [ A.addi bb (List.hd args) i ])))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let loop = List.hd (Core.collect_named f "scf.for") in
+        Alcotest.check lat "loop result" U.Non_uniform (U.value t (Core.result loop 0)));
+    Alcotest.test_case "in_divergent_region distinguishes guards" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_kernel ~dims:1 ~args:[] (fun b ~item ~args:_ ->
+              let i = K.gid b item 0 in
+              let zero = A.const_index b 0 in
+              let div_cond = A.cmpi b A.Sgt i zero in
+              ignore
+                (Dialects.Scf.if_ b div_cond
+                   ~then_:(fun bb ->
+                     ignore (A.const_int bb 1);
+                     [])
+                   ());
+              let uni_cond = A.cmpi b A.Sgt zero zero in
+              ignore
+                (Dialects.Scf.if_ b uni_cond
+                   ~then_:(fun bb ->
+                     ignore (A.const_int bb 2);
+                     [])
+                   ()))
+        in
+        let t = U.analyze m in
+        let f = Option.get (Core.lookup_func m "k") in
+        let consts =
+          List.filter
+            (fun (o : Core.op) ->
+              Core.attr o "value" = Some (Attr.Int 1)
+              || Core.attr o "value" = Some (Attr.Int 2))
+            (Core.collect_named f "arith.constant")
+        in
+        match consts with
+        | [ in_div; in_uni ] ->
+          Alcotest.(check bool) "divergent guard" true (U.in_divergent_region t in_div);
+          Alcotest.(check bool) "uniform guard" false (U.in_divergent_region t in_uni)
+        | _ -> Alcotest.fail "expected the two nested constants");
+    Alcotest.test_case "interprocedural: callee params join call-site args" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let callee =
+          Dialects.Func.func m "helper" ~args:[ Types.Index ] ~results:[ Types.Index ]
+            (fun b vals -> Dialects.Func.return b [ List.hd vals ])
+        in
+        ignore callee;
+        ignore
+          (Sycl_frontend.Kernel.define m ~name:"k" ~dims:1 ~args:[]
+             (fun b ~item ~args:_ ->
+               let i = K.gid b item 0 in
+               ignore
+                 (Dialects.Func.call b "helper" ~operands:[ i ] ~results:[ Types.Index ])));
+        let t = U.analyze m in
+        let k = Option.get (Core.lookup_func m "k") in
+        let call = List.hd (Core.collect_named k "func.call") in
+        Alcotest.check lat "call result carries non-uniformity through the callee"
+          U.Non_uniform
+          (U.value t (Core.result call 0)));
+    Alcotest.test_case "external call results are unknown" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        ignore (Dialects.Func.declare m "ext" ~args:[] ~results:[ Types.Index ]);
+        ignore
+          (Sycl_frontend.Kernel.define m ~name:"k" ~dims:1 ~args:[]
+             (fun b ~item:_ ~args:_ ->
+               ignore (Dialects.Func.call b "ext" ~operands:[] ~results:[ Types.Index ])));
+        let t = U.analyze m in
+        let k = Option.get (Core.lookup_func m "k") in
+        let call = List.hd (Core.collect_named k "func.call") in
+        Alcotest.check lat "unknown" U.Unknown (U.value t (Core.result call 0)));
+  ]
+
+let tests = ("uniformity", tests_list)

@@ -1,0 +1,145 @@
+(* Verifier tests: SSA visibility, terminators, op-specific rules. *)
+
+open Mlir
+module A = Dialects.Arith
+
+let expect_invalid ?(msg = "verification fails") m =
+  match Verifier.verify m with
+  | Ok () -> Alcotest.fail msg
+  | Error _ -> ()
+
+let tests_list =
+  [
+    Alcotest.test_case "well-formed module verifies" `Quick (fun () ->
+        let m, _ =
+          Helpers.with_func ~args:[ Types.i64 ] ~results:[ Types.i64 ] (fun b vals ->
+              Dialects.Func.return b [ A.addi b (List.hd vals) (List.hd vals) ])
+        in
+        Helpers.check_verifies m);
+    Alcotest.test_case "use before def rejected" `Quick (fun () ->
+        let m, f = Helpers.with_func (fun _ _ -> ()) in
+        let body = Core.func_body f in
+        (* Build x = addi(y, y); y = constant — out of order. *)
+        let y_op =
+          Core.create_op "arith.constant" ~operands:[] ~result_types:[ Types.i64 ]
+            ~attrs:[ ("value", Attr.Int 1) ]
+        in
+        let x_op =
+          Core.create_op "arith.addi"
+            ~operands:[ Core.result y_op 0; Core.result y_op 0 ]
+            ~result_types:[ Types.i64 ]
+        in
+        Core.prepend_op body x_op;
+        Core.insert_after ~anchor:x_op y_op;
+        expect_invalid ~msg:"use-before-def accepted" m);
+    Alcotest.test_case "missing terminator rejected" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let region = Core.region_with_block () in
+        let fop =
+          Core.create_op "func.func" ~operands:[] ~result_types:[]
+            ~attrs:
+              [ ("sym_name", Attr.String "f");
+                ("function_type", Attr.Type (Types.Function ([], []))) ]
+            ~regions:[ region ]
+        in
+        Core.append_op (Core.module_block m) fop;
+        let b = Builder.at_end (Core.entry_block region) in
+        ignore (A.const_int b 1);
+        expect_invalid ~msg:"missing terminator accepted" m);
+    Alcotest.test_case "func entry args must match function type" `Quick (fun () ->
+        let m = Helpers.fresh_module () in
+        let region = Core.region_with_block ~args:[ Types.i64 ] () in
+        let fop =
+          Core.create_op "func.func" ~operands:[] ~result_types:[]
+            ~attrs:
+              [ ("sym_name", Attr.String "f");
+                ("function_type", Attr.Type (Types.Function ([ Types.f32 ], []))) ]
+            ~regions:[ region ]
+        in
+        Core.append_op (Core.module_block m) fop;
+        let b = Builder.at_end (Core.entry_block region) in
+        Dialects.Func.return b [];
+        expect_invalid ~msg:"mismatched signature accepted" m);
+    Alcotest.test_case "scf.for result/iter_args mismatch rejected" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_func (fun b _ ->
+              let zero = A.const_index b 0 in
+              let region = Core.region_with_block ~args:[ Types.Index ] () in
+              let bb = Builder.at_end (Core.entry_block region) in
+              Builder.op0 bb "scf.yield" ~operands:[];
+              (* Claims one result but has no iter_args. *)
+              ignore
+                (Builder.op b "scf.for"
+                   ~operands:[ zero; zero; zero ]
+                   ~result_types:[ Types.f32 ] ~regions:[ region ]))
+        in
+        expect_invalid ~msg:"bad scf.for accepted" m);
+    Alcotest.test_case "scf.if with results requires else" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_func (fun b _ ->
+              let c = A.const_bool b true in
+              let region = Core.region_with_block () in
+              let bb = Builder.at_end (Core.entry_block region) in
+              let one = A.const_float bb 1.0 in
+              Builder.op0 bb "scf.yield" ~operands:[ one ];
+              ignore
+                (Builder.op b "scf.if" ~operands:[ c ] ~result_types:[ Types.f32 ]
+                   ~regions:[ region ]))
+        in
+        expect_invalid ~msg:"scf.if with results but no else accepted" m);
+    Alcotest.test_case "unregistered ops flagged when requested" `Quick (fun () ->
+        let m, _f =
+          Helpers.with_func (fun b _ ->
+              ignore
+                (Builder.op b "wibble.wobble" ~operands:[] ~result_types:[]))
+        in
+        Helpers.check_verifies m;
+        (match Verifier.verify ~allow_unregistered:false m with
+        | Ok () -> Alcotest.fail "unregistered accepted in strict mode"
+        | Error _ -> ()));
+    Alcotest.test_case "diagnostics carry the culprit op" `Quick (fun () ->
+        let m, f = Helpers.with_func (fun _ _ -> ()) in
+        let body = Core.func_body f in
+        let y_op =
+          Core.create_op "arith.constant" ~operands:[] ~result_types:[ Types.i64 ]
+            ~attrs:[ ("value", Attr.Int 1) ]
+        in
+        let x_op =
+          Core.create_op "arith.addi"
+            ~operands:[ Core.result y_op 0; Core.result y_op 0 ]
+            ~result_types:[ Types.i64 ]
+        in
+        Core.prepend_op body x_op;
+        Core.insert_after ~anchor:x_op y_op;
+        match Verifier.verify m with
+        | Error (d :: _) ->
+          Alcotest.(check bool) "culprit recorded" true (d.Verifier.culprit <> None);
+          Alcotest.(check bool) "message mentions dominance" true
+            (String.length (Verifier.diag_to_string d) > 0)
+        | _ -> Alcotest.fail "expected diagnostics");
+    Alcotest.test_case "pass manager attributes verification failures" `Quick
+      (fun () ->
+        let m, f = Helpers.with_func (fun _ _ -> ()) in
+        (* A pass that breaks the IR. *)
+        let breaker =
+          Pass.make "breaker" (fun _ _ ->
+              let body = Core.func_body f in
+              let y_op =
+                Core.create_op "arith.constant" ~operands:[]
+                  ~result_types:[ Types.i64 ] ~attrs:[ ("value", Attr.Int 1) ]
+              in
+              let x_op =
+                Core.create_op "arith.addi"
+                  ~operands:[ Core.result y_op 0; Core.result y_op 0 ]
+                  ~result_types:[ Types.i64 ]
+              in
+              Core.prepend_op body x_op;
+              Core.insert_after ~anchor:x_op y_op)
+        in
+        match Pass.run_pipeline ~verify_each:true [ breaker ] m with
+        | _ -> Alcotest.fail "expected Pass_failed"
+        | exception Pass.Pass_failed { pass; _ } ->
+          Alcotest.(check string) "pass name" "breaker" pass);
+  ]
+
+let tests = ("verifier", tests_list)
