@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- geomean — geo-mean summary vs paper numbers
      dune exec bench/main.exe -- ablation— per-optimization contribution table
      dune exec bench/main.exe -- passes  — Bechamel pass-time microbenchmarks
+     dune exec bench/main.exe -- profile — compile timing tree + Chrome trace
+                                           of a simulated GEMM run
 
    Absolute paper numbers came from an Intel Data Center GPU Max 1100;
    ours come from the transaction-level simulator — only the shape of the
@@ -231,6 +233,30 @@ let run_fusion () =
     (Mlir.Pass.Stats.get stats "store-forwarding/store-forwarding.forwarded")
 
 (* ------------------------------------------------------------------ *)
+(* Observability: compile-time timing tree + simulator trace for GEMM   *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile () =
+  let w = Polybench.gemm ~n:64 in
+  (* Compile with the timing instrumentation — the per-pass wall-time
+     report backs the "little compile-time cost" discussion. *)
+  let m = w.Common.w_module () in
+  let tm = Mlir.Instrument.timer () in
+  ignore
+    (Driver.compile
+       ~instrumentations:[ Mlir.Instrument.timing tm ]
+       (Driver.config Driver.Sycl_mlir) m);
+  Printf.printf "\nGEMM (n=64) SYCL-MLIR compile timing\n";
+  Format.printf "%a@?" Mlir.Instrument.pp_timing (Mlir.Instrument.timing_report tm);
+  (* Execute and export the run's charge timeline as a Chrome trace. *)
+  let args, _validate = w.Common.w_data () in
+  let result = Sycl_runtime.Host_interp.run ~module_op:m args in
+  let events = result.Sycl_runtime.Host_interp.events in
+  let path = "gemm_trace.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Sycl_sim.Profile.to_chrome_json events));
+  Printf.printf "\nSimulated-run profile (trace written to %s):\n" path;
+  Format.printf "%a@?" Sycl_sim.Profile.pp_table (Sycl_sim.Profile.of_events events)
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -243,6 +269,7 @@ let () =
   | "ablation" -> run_ablation ()
   | "passes" -> run_passes ()
   | "fusion" -> run_fusion ()
+  | "profile" -> run_profile ()
   | "all" ->
     run_fig2 ();
     run_fig3 ();
@@ -252,7 +279,7 @@ let () =
     run_fusion ();
     run_passes ()
   | other ->
-    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|all)\n"
+    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|all)\n"
       other;
     exit 1);
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

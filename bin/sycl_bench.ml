@@ -47,8 +47,22 @@ let report (w : Common.workload) (m : Common.measurement) =
     Format.printf "%a@?" Mlir.Pass.Stats.pp m.Common.m_stats
   end
 
+(** Write the run's charge timeline as Chrome-trace JSON and print the
+    per-kernel profile table derived from the same events. *)
+let write_profile (m : Common.measurement) path =
+  let events = m.Common.m_result.Sycl_runtime.Host_interp.events in
+  (try
+     Out_channel.with_open_text path (fun oc ->
+         output_string oc (Sycl_sim.Profile.to_chrome_json events))
+   with Sys_error msg ->
+     Printf.eprintf "error: cannot write trace: %s\n" msg;
+     exit 1);
+  Printf.printf "\nkernel profile (trace written to %s):\n" path;
+  Format.printf "%a@?" Sycl_sim.Profile.pp_table
+    (Sycl_sim.Profile.of_events events)
+
 let run list_flag bench mode compare no_licm no_reduction no_internalization
-    no_hostdev fusion =
+    no_hostdev fusion profile_json =
   if list_flag then (list_workloads (); exit 0);
   match bench with
   | None ->
@@ -86,6 +100,7 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
       else
         let m = Common.measure (config mode) w in
         report w m;
+        Option.iter (write_profile m) profile_json;
         if not m.Common.m_valid then exit 1)
 
 let list_arg = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List workloads.")
@@ -108,6 +123,15 @@ let compare_arg =
 
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
+let profile_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-json" ] ~docv:"FILE"
+           ~doc:
+             "Write the simulated run's timeline to $(docv) in the Chrome \
+              trace format (load in chrome://tracing or Perfetto) and print \
+              a per-kernel profile table. Single-mode runs only (not \
+              $(b,--compare)).")
+
 let cmd =
   let doc = "run a SYCL-Bench reproduction workload on the simulated device" in
   Cmd.v (Cmd.info "sycl-bench" ~doc)
@@ -116,6 +140,7 @@ let cmd =
           $ flag "no-reduction" "Disable reduction detection."
           $ flag "no-internalization" "Disable loop internalization."
           $ flag "no-host-device" "Disable host-device propagation."
-          $ flag "fusion" "Enable compile-time kernel fusion.")
+          $ flag "fusion" "Enable compile-time kernel fusion."
+          $ profile_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -2,7 +2,15 @@
    textual generic form, runs a named pass pipeline, prints the result.
 
      sycl-mlir-opt --passes canonicalize,cse,licm,detect-reduction foo.mlir
-     echo '...' | sycl-mlir-opt --passes sycl-mlir  (full pipeline) *)
+     echo '...' | sycl-mlir-opt --passes sycl-mlir  (full pipeline)
+
+   Observability (all reports go to stderr, the module to stdout):
+     --timing            per-pass wall-time tree (-mlir-timing style)
+     --remarks[=REGEX]   optimization remarks (-Rpass style), filtered
+                         by pass name
+     --remarks-json=F    every remark, as a JSON document
+     --dump-after=P      print the IR after pass P ("all" for every pass)
+     --dump-before=P     likewise, before *)
 
 open Cmdliner
 module Driver = Sycl_core.Driver
@@ -54,21 +62,81 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
-let run passes verify stats input =
+let run passes verify stats timing remarks remarks_json dump_before dump_after
+    input =
   Dialects.Register.init ();
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
   Sycl_core.Licm.init ();
-  let src = read_input input in
+  (* `--remarks FILE` (unglued): cmdliner hands FILE to --remarks even
+     though its value is optional. When it names an existing file and no
+     positional input was given, the user meant it as the input. *)
+  let remarks, input =
+    match (remarks, input) with
+    | Some s, None when Sys.file_exists s -> (Some "", Some s)
+    | _ -> (remarks, input)
+  in
+  let src =
+    match read_input input with
+    | s -> s
+    | exception Sys_error msg ->
+      Printf.eprintf "error: cannot read input: %s\n" msg;
+      exit 1
+  in
   match Mlir.Parser.parse_module src with
   | exception Mlir.Parser.Parse_error msg ->
     Printf.eprintf "parse error: %s\n" msg;
     exit 1
   | m -> (
     let pipeline = resolve_pipeline passes in
-    match Mlir.Pass.run_pipeline ~verify_each:verify pipeline m with
+    (* Remarks stream to stderr as they are emitted (filtered like
+       -Rpass=REGEX, matched against the pass name); the JSON document
+       always carries every remark. *)
+    let all_remarks = ref [] in
+    let remark_filter =
+      match Option.map Str.regexp remarks with
+      | f -> f
+      | exception Failure msg ->
+        Printf.eprintf "error: bad --remarks regex: %s\n" msg;
+        exit 2
+    in
+    if remarks <> None || remarks_json <> None then
+      Mlir.Remarks.install (fun r ->
+          all_remarks := r :: !all_remarks;
+          match remark_filter with
+          | Some rx when Str.string_match rx r.Mlir.Remarks.r_pass 0 ->
+            Printf.eprintf "%s\n%!" (Mlir.Remarks.to_string r)
+          | _ -> ());
+    let tm = Mlir.Instrument.timer () in
+    let instrumentations =
+      (if timing then [ Mlir.Instrument.timing tm ] else [])
+      @ (match dump_before with
+        | Some f ->
+          [ Mlir.Instrument.dump ~before:true ~after:false ~filter:f () ]
+        | None -> [])
+      @
+      match dump_after with
+      | Some f -> [ Mlir.Instrument.dump ~filter:f () ]
+      | None -> []
+    in
+    match
+      Mlir.Pass.run_pipeline ~verify_each:verify ~instrumentations pipeline m
+    with
     | result ->
       Mlir.Printer.print m;
+      if timing then
+        Format.eprintf "%a@?" Mlir.Instrument.pp_timing
+          (Mlir.Instrument.timing_report tm);
+      (match remarks_json with
+      | Some path -> (
+        try
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc
+                (Mlir.Remarks.list_to_json (List.rev !all_remarks)))
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot write remarks JSON: %s\n" msg;
+          exit 1)
+      | None -> ());
       if stats then begin
         Printf.eprintf "// pass statistics:\n";
         Format.eprintf "%a@?" Mlir.Pass.Stats.pp (Mlir.Pass.merged_stats result)
@@ -90,6 +158,37 @@ let verify_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print pass statistics to stderr.")
 
+let timing_arg =
+  Arg.(value & flag
+       & info [ "timing" ]
+           ~doc:"Print a per-pass wall-time report to stderr (-mlir-timing style).")
+
+let remarks_arg =
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "remarks" ] ~docv:"REGEX"
+           ~doc:
+             "Print optimization remarks to stderr as passes emit them \
+              (-Rpass style). The optional $(docv) filters by emitting pass \
+              name; without it every remark prints.")
+
+let remarks_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "remarks-json" ] ~docv:"FILE"
+           ~doc:"Write every optimization remark to $(docv) as JSON.")
+
+let dump_before_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-before" ] ~docv:"PASS"
+           ~doc:"Print the IR to stderr before each run of $(docv) (\"all\" \
+                 for every pass).")
+
+let dump_after_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-after" ] ~docv:"PASS"
+           ~doc:"Print the IR to stderr after each run of $(docv) (\"all\" \
+                 for every pass).")
+
 let input_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
 
@@ -97,6 +196,8 @@ let cmd =
   let doc = "run SYCL-MLIR passes over textual IR" in
   Cmd.v
     (Cmd.info "sycl-mlir-opt" ~doc)
-    Term.(const run $ passes_arg $ verify_arg $ stats_arg $ input_arg)
+    Term.(const run $ passes_arg $ verify_arg $ stats_arg $ timing_arg
+          $ remarks_arg $ remarks_json_arg $ dump_before_arg $ dump_after_arg
+          $ input_arg)
 
 let () = exit (Cmd.eval cmd)

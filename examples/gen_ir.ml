@@ -1,0 +1,67 @@
+(* Regenerates the checked-in example IR from the workload builders:
+
+     dune exec examples/gen_ir.exe -- matmul > examples/matmul.mlir
+
+   The files under examples/ are committed so the CLI tools (and CI's
+   smoke test) have stable textual inputs without running OCaml first. *)
+
+open Sycl_workloads
+module K = Sycl_frontend.Kernel
+module Host = Sycl_frontend.Host
+module S = Sycl_core.Sycl_types
+
+(* GEMM with a per-row scale vector:
+     C[i][j] = beta*C[i][j] + sum_k scale[i] * A[i][k] * B[k][j]
+   The scale[i] load inside the k-loop is loop-invariant; hoisting it
+   needs the SYCL-aware alias analysis (scale and C are distinct
+   buffers), so the example exercises LICM's memory hoisting on top of
+   the reduction rewrite and loop internalization plain GEMM shows. *)
+let matmul_module () =
+  let f32 = Mlir.Types.f32 in
+  let m = Common.fresh_module () in
+  ignore
+    (K.define m ~name:"matmul" ~dims:2
+       ~args:
+         [ K.Acc (2, S.Read, f32); K.Acc (2, S.Read, f32);
+           K.Acc (2, S.Read_write, f32); K.Acc (1, S.Read, f32); K.Scal f32 ]
+       (fun b ~item ~args ->
+         match args with
+         | [ a; bb; c; scale; beta_v ] ->
+           let i = K.gid b item 0 and j = K.gid b item 1 in
+           let n = K.grange b item 0 in
+           K.acc_update b c [ i; j ] (fun v -> K.mulf b v beta_v);
+           K.for_up b n (fun b2 k ->
+               let s = K.acc_get b2 scale [ i ] in
+               let av = K.acc_get b2 a [ i; k ] in
+               let bv = K.acc_get b2 bb [ k; j ] in
+               let prod = K.mulf b2 s (K.mulf b2 av bv) in
+               K.acc_update b2 c [ i; j ] (fun v -> K.addf b2 v prod))
+         | _ -> assert false));
+  Polybench.emit_host m
+    ~args:[ Polybench.mem; Polybench.mem; Polybench.mem; Polybench.mem;
+            Mlir.Types.Index ]
+    ~buffers:
+      [ Polybench.sq_buf ~size_arg:4 0; Polybench.sq_buf ~size_arg:4 1;
+        Polybench.sq_buf ~size_arg:4 2; Polybench.vec_buf ~size_arg:4 3 ]
+    ~body:
+      [ Polybench.submit2 ~kernel:"matmul" ~size_arg:4
+          [ Polybench.cap_r 0; Polybench.cap_r 1; Polybench.cap_rw 2;
+            Polybench.cap_r 3; Host.Capture_scalar (Mlir.Attr.Float 1.2) ] ];
+  m
+
+let () =
+  Dialects.Register.init ();
+  Sycl_core.Sycl_ops.init ();
+  Sycl_core.Sycl_host_ops.init ();
+  Sycl_core.Licm.init ();
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "matmul" in
+  let m =
+    match which with
+    | "matmul" -> matmul_module ()
+    | "gemm" -> (Polybench.gemm ~n:16).Common.w_module ()
+    | "vec-add" -> (Single_kernel.vec_add ~n:256).Common.w_module ()
+    | other ->
+      prerr_endline ("unknown example " ^ other ^ " (matmul|gemm|vec-add)");
+      exit 2
+  in
+  print_string (Mlir.Printer.to_string m)

@@ -30,6 +30,13 @@ let run_on_kernel (kernel : Core.op) stats =
   if dead <> [] then begin
     Core.set_attr kernel dead_args_attr
       (Attr.Array (List.map (fun i -> Attr.Int i) dead));
+    Remarks.emit ~pass:"sycl-dead-argument-elimination" ~name:"marked"
+      Remarks.Passed ~func:(Core.func_sym kernel)
+      (Printf.sprintf
+         "marked %d dead kernel argument(s) [%s]: the runtime will not pass \
+          them at launch, reducing per-launch overhead"
+         (List.length dead)
+         (String.concat ", " (List.map string_of_int dead)));
     Pass.Stats.bump ~by:(List.length dead) stats "dead-args.marked"
   end
 

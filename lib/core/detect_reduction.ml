@@ -43,8 +43,14 @@ type candidate = {
   red_idx : Core.value list;
 }
 
-(** Find one reduction candidate in the top-level body of [loop]. *)
-let find_candidate (loop : Core.op) : candidate option =
+let remark = Remarks.emit ~pass:"detect-reduction"
+
+(** Find one reduction candidate in the top-level body of [loop].
+    [report ld reason] is called for load/store pairs that form a
+    reduction shape but are blocked (used for missed-optimization
+    remarks). *)
+let find_candidate ?(report = fun _ _ -> ()) (loop : Core.op) :
+    candidate option =
   let region = loop.Core.regions.(0) in
   let body = Core.entry_block region in
   let inv v = Dominance.defined_outside_region region v in
@@ -78,21 +84,32 @@ let find_candidate (loop : Core.op) : candidate option =
       && List.for_all inv (lmem :: lidx)
       && Dominance.properly_dominates ld st
       && depends_on region (Core.result ld 0) sval
-      (* Only this load/store pair may touch the location. *)
-      && List.for_all
-           (fun (op, target) ->
-             op == ld || op == st
-             ||
-             match target with
-             | None -> false
-             | Some t -> not (Alias.may_alias t lmem))
-           all_mem_ops
-      (* The load result must feed only the reduction computation inside
-         the loop. *)
-      && List.for_all
-           (fun (user, _) -> Core.is_in_region region user)
-           (Core.uses (Core.result ld 0))
-    then Some { red_load = ld; red_store = st; red_mem = lmem; red_idx = lidx }
+    then
+      if
+        (* Only this load/store pair may touch the location. *)
+        List.for_all
+          (fun (op, target) ->
+            op == ld || op == st
+            ||
+            match target with
+            | None -> false
+            | Some t -> not (Alias.may_alias t lmem))
+          all_mem_ops
+        (* The load result must feed only the reduction computation inside
+           the loop. *)
+        && List.for_all
+             (fun (user, _) -> Core.is_in_region region user)
+             (Core.uses (Core.result ld 0))
+      then
+        Some { red_load = ld; red_store = st; red_mem = lmem; red_idx = lidx }
+      else begin
+        (* Reduction shape, but blocked: the alias analysis cannot prove
+           the reduced location untouched by the rest of the loop. *)
+        report ld
+          "reduction-shaped load/store pair not promoted to a scalar: \
+           another access in the loop may alias the reduced location";
+        None
+      end
     else None
   in
   List.find_map
@@ -202,14 +219,28 @@ let apply (loop : Core.op) (c : candidate) : unit =
   end
 
 let run_on_func (f : Core.op) stats =
+  (* Missed-remark dedup: [optimize] rescans every loop after each
+     rewrite, so a blocked pair would otherwise be reported once per
+     fixpoint iteration. *)
+  let reported = Hashtbl.create 8 in
+  let report (ld : Core.op) reason =
+    if not (Hashtbl.mem reported ld.Core.oid) then begin
+      Hashtbl.replace reported ld.Core.oid ();
+      remark ~name:"blocked-by-alias" Remarks.Missed ~op:ld reason
+    end
+  in
   let rec optimize () =
     let loops = ref [] in
     Core.walk f ~f:(fun o -> if is_loop o then loops := o :: !loops);
     let applied =
       List.exists
         (fun loop ->
-          match find_candidate loop with
+          match find_candidate ~report loop with
           | Some c ->
+            remark ~name:"rewritten" Remarks.Passed ~op:c.red_load
+              "array reduction rewritten to a loop-carried scalar: one load \
+               before and one store after the loop replace a load/store pair \
+               per iteration";
             apply loop c;
             Pass.Stats.bump stats "reduction.rewritten";
             true

@@ -102,10 +102,34 @@ let licm_pure_pass =
                 end)
               body.Core.body
           done;
+          (* Loads with invariant addresses are exactly what the SYCL-aware
+             LICM (Section V-A) hoists and this generic pipeline cannot:
+             without accessor no-alias facts every store in the loop is a
+             potential clobber. Report them as missed optimizations. *)
+          if Remarks.enabled () then
+            List.iter
+              (fun op ->
+                if
+                  Dialects.Memref.is_load op
+                  && (not (Hashtbl.mem hoisted op.Core.oid))
+                  && List.for_all inv (Core.operands op)
+                then
+                  Remarks.emit ~pass:"licm-pure" ~name:"blocked-no-alias-info"
+                    Remarks.Missed ~op
+                    "loop-invariant load not hoisted: generic LICM has no \
+                     SYCL accessor aliasing facts, so stores in the loop \
+                     cannot be proven non-clobbering")
+              body.Core.body;
           List.iter
             (fun op ->
               if Hashtbl.mem hoisted op.Core.oid then begin
                 Core.move_before ~anchor:loop op;
+                if Remarks.enabled () then
+                  Remarks.emit ~pass:"licm-pure" ~name:"hoisted" Remarks.Passed
+                    ~op
+                    (Printf.sprintf
+                       "pure speculatable operation %s hoisted out of the loop"
+                       op.Core.name);
                 Pass.Stats.bump stats "licm-pure.hoisted"
               end)
             body.Core.body)
@@ -173,11 +197,11 @@ exception Compile_error of string
 (** Compile a joint module. The pass order mirrors Fig. 1: for SYCL-MLIR,
     host analysis runs first so device passes see its facts; for the
     baselines, device compilation is isolated. *)
-let compile (cfg : config) (m : Core.op) : compiled =
+let compile ?(instrumentations = []) (cfg : config) (m : Core.op) : compiled =
   if not (Core.is_module m) then raise (Compile_error "expected a module");
   let passes = host_pipeline cfg @ device_pipeline cfg in
   let pipeline_result =
-    try Pass.run_pipeline ~verify_each:cfg.verify_each passes m
+    try Pass.run_pipeline ~verify_each:cfg.verify_each ~instrumentations passes m
     with Pass.Pass_failed { pass; diagnostics } ->
       raise
         (Compile_error

@@ -67,8 +67,10 @@ type compiled = {
 
 exception Compile_error of string
 
-(** Compile a joint module in place. *)
-val compile : config -> Core.op -> compiled
+(** Compile a joint module in place. [instrumentations] are threaded to
+    {!Pass.run_pipeline} (timing, IR-change detection, IR dumps). *)
+val compile :
+  ?instrumentations:Instrument.t list -> config -> Core.op -> compiled
 
 (** Innermost module ancestor of an op. *)
 val top_module : Core.op -> Core.op option

@@ -115,11 +115,18 @@ let kernel_arg (kernel : Core.op) i =
   let args = Core.block_args (Core.func_body kernel) in
   List.nth_opt args i
 
+let remark = Remarks.emit ~pass:"host-device-propagation"
+
 let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
   let kernel = site.ls_kernel in
+  let kname = Core.func_sym kernel in
   (* --- ND-range --- *)
   let global_consts = List.map const_int_of site.ls_global in
   let global_known = List.for_all Option.is_some global_consts in
+  if opts.propagate_nd_range && not global_known then
+    remark ~name:"ndrange-unknown" Remarks.Missed ~func:kname
+      "ND-range not propagated: the host launch range is not a compile-time \
+       constant";
   if opts.propagate_nd_range && global_known then begin
     let global = List.map Option.get global_consts in
     Core.set_attr kernel "sycl.global_size"
@@ -142,7 +149,17 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
     | None -> ());
     replace_dim_getters stats kernel
       [ "sycl.item.get_range"; "sycl.nd_item.get_global_range" ]
-      global
+      global;
+    remark ~name:"ndrange-propagated" Remarks.Passed ~func:kname
+      (Printf.sprintf
+         "constant ND-range global=[%s]%s propagated from the host launch \
+          site into the device kernel"
+         (String.concat ", " (List.map string_of_int global))
+         (match wg with
+         | Some wg ->
+           Printf.sprintf " wg=[%s]"
+             (String.concat ", " (List.map string_of_int wg))
+         | None -> ""))
   end;
   (* --- captures --- *)
   List.iter
@@ -212,6 +229,10 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
             in
             let c = Dialects.Arith.constant b a arg.Core.vty in
             Core.replace_all_uses_with arg c;
+            remark ~name:"capture-const" Remarks.Passed ~func:kname
+              (Printf.sprintf
+                 "constant scalar capture %d propagated into the kernel body"
+                 idx);
             Pass.Stats.bump stats "hostdev.capture-const"
           | _ -> ())
         | Some def when def.Core.name = "llvm.addressof" && opts.propagate_constants
@@ -230,6 +251,11 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
             in
             Core.set_attr kernel "sycl.constant_args"
               (Attr.Array (existing @ [ Attr.Int idx ]));
+            remark ~name:"constant-global" Remarks.Passed ~func:kname
+              (Printf.sprintf
+                 "capture %d is a constant global array: device treats it \
+                  as constant-cached data"
+                 idx);
             Pass.Stats.bump stats "hostdev.constant-global"
           | _ -> ())
         | _ -> ()))
@@ -255,6 +281,11 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
           (fun j (idx_b, buf_b) ->
             if j > i && not (Core.value_equal buf_a buf_b) then begin
               Alias.add_noalias_pair kernel idx_a idx_b;
+              remark ~name:"noalias-pair" Remarks.Analysis ~func:kname
+                (Printf.sprintf
+                   "accessor arguments %d and %d capture distinct buffers: \
+                    recorded as no-alias for the device alias analysis"
+                   idx_a idx_b);
               Pass.Stats.bump stats "hostdev.noalias-pair"
             end)
           accessor_captures)

@@ -276,26 +276,55 @@ let fuse (m : Core.op) (a : site) (b : site) stats =
   (match Core.uses (Core.result b.s_submit 0) with
   | [] -> Core.erase_op b.s_submit
   | _ -> ());
+  Remarks.emit ~pass:"kernel-fusion" ~name:"fused" Remarks.Passed
+    ~func:(Core.func_sym fused)
+    (Printf.sprintf
+       "kernels %s and %s fused into one launch: one command group replaces \
+        two, and the shared buffer's dataflow becomes internal"
+       (Core.func_sym a.s_kernel) (Core.func_sym b.s_kernel));
   Pass.Stats.bump stats "fusion.fused"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(** Why an adjacent pair of launch sites did not fuse — the
+    -Rpass-missed reason shown for the first condition that fails. *)
+let missed_fusion_reason (block : Core.block) (a : site) (b : site) :
+    string option =
+  if not (Types.equal (item_type a.s_kernel) (item_type b.s_kernel)) then
+    Some "kernels have different dimensionality or item kinds"
+  else if has_barrier a.s_kernel || has_barrier b.s_kernel then
+    Some "a kernel contains a work-group barrier"
+  else if not (same_nd_range a b) then
+    Some "launch ranges are not value-identical plain ranges"
+  else if not (construction_only_between block a.s_parallel_for b.s_parallel_for)
+  then Some "host code other than command-group construction sits between the launches"
+  else if not (dependence_safe a b) then
+    Some
+      "a shared buffer with a writer is not accessed purely at the \
+       work-item's own index, so per-work-item sequencing would break the \
+       inter-kernel dependence"
+  else None
+
 let try_fuse_in_block (m : Core.op) (block : Core.block) stats : bool =
   let pfs = List.filter Sycl_host_ops.is_parallel_for block.Core.body in
   let rec pairs = function
     | pf_a :: (pf_b :: _ as rest) -> (
       match (site_of m pf_a, site_of m pf_b) with
-      | Some a, Some b
-        when Types.equal (item_type a.s_kernel) (item_type b.s_kernel)
-             && (not (has_barrier a.s_kernel))
-             && (not (has_barrier b.s_kernel))
-             && same_nd_range a b
-             && construction_only_between block pf_a pf_b
-             && dependence_safe a b ->
-        fuse m a b stats;
-        true
+      | Some a, Some b -> (
+        match missed_fusion_reason block a b with
+        | None ->
+          fuse m a b stats;
+          true
+        | Some reason ->
+          if Remarks.enabled () then
+            Remarks.emit ~pass:"kernel-fusion" ~name:"not-fused"
+              Remarks.Missed
+              ~func:(Core.func_sym a.s_kernel)
+              (Printf.sprintf "launches of %s and %s not fused: %s"
+                 (Core.func_sym a.s_kernel) (Core.func_sym b.s_kernel) reason);
+          pairs rest)
       | _ -> pairs rest)
     | _ -> false
   in

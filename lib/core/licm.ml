@@ -79,6 +79,8 @@ type hoist_class =
   | Hoist_load_if_distinct of Core.value * Core.value
       (** requires runtime accessor-overlap check between the two values *)
 
+let remark = Remarks.emit ~pass:"licm"
+
 (** Decide whether [op] in [loop] can be hoisted, given invariant value
     predicate [inv]. *)
 let classify (summary : write_summary) (loop : Core.op) inv (op : Core.op) :
@@ -112,6 +114,39 @@ let classify (summary : write_summary) (loop : Core.op) inv (op : Core.op) :
             Some (Hoist_load_if_distinct (a, b))
           | _ -> None)
         | _ -> None
+      end
+    | _ -> None
+
+(** Why a memory read with invariant operands was not classified as
+    hoistable — the -Rpass-missed reason. Mirrors the blocked branches of
+    {!classify}; returns None for ops no one would expect to hoist. *)
+let missed_reason (summary : write_summary) inv (op : Core.op) :
+    string option =
+  if Op_registry.is_terminator op || Core.num_regions op > 0 then None
+  else
+    match Op_registry.memory_effects op with
+    | Some [ (Op_registry.Read, Op_registry.On_operand i) ]
+      when Core.num_results op > 0 && List.for_all inv (Core.operands op) ->
+      if summary.has_unknown then
+        Some "loop contains an operation with unknown memory effects"
+      else begin
+        let target = Core.operand op i in
+        let conflicts =
+          List.filter (fun w -> Alias.may_alias w target) summary.write_targets
+        in
+        match conflicts with
+        | [] -> None (* would have been hoisted *)
+        | [ w ] when Alias.alias w target = Alias.Must_alias ->
+          Some "load clobbered by a must-aliasing store in the loop"
+        | [ _ ] ->
+          Some
+            "load may alias a store in the loop and the pair is not \
+             versionable on accessor disjointness"
+        | ws ->
+          Some
+            (Printf.sprintf
+               "load may be clobbered by %d aliasing stores in the loop"
+               (List.length ws))
       end
     | _ -> None
 
@@ -156,20 +191,36 @@ let optimize_loop stats (uniformity : Uniformity.t option) (loop : Core.op) =
       body.Core.body
   done;
   let hoistable = List.rev !hoistable in
+  (* Blocked memory reads: remark why each one stayed (the paper's "why
+     didn't LICM hoist that load" question). *)
+  if Remarks.enabled () then
+    List.iter
+      (fun op ->
+        if not (Hashtbl.mem hoisted_values op.Core.oid) then
+          match missed_reason summary inv' op with
+          | Some reason ->
+            remark ~name:"blocked-by-alias" Remarks.Missed ~op reason
+          | None -> ())
+      body.Core.body;
   if hoistable = [] then 0
   else begin
     let pure, loads =
       List.partition (fun (_, c) -> c = Hoist_pure) hoistable
     in
     (* Pure ops hoist unconditionally. *)
-    List.iter (fun (op, _) -> Core.move_before ~anchor:loop op) pure;
+    List.iter
+      (fun (op, _) ->
+        Core.move_before ~anchor:loop op;
+        remark ~name:"hoisted-pure" Remarks.Passed ~op
+          "hoisted loop-invariant pure operation out of the loop")
+      pure;
     Pass.Stats.bump ~by:(List.length pure) stats "licm.hoisted-pure";
     (* Memory ops need guarding; only safe when the loop yields nothing
        and the hoisted results are used only inside the loop. *)
-    let loads =
-      if Core.num_results loop > 0 then []
+    let guardable, unguardable =
+      if Core.num_results loop > 0 then ([], loads)
       else
-        List.filter
+        List.partition
           (fun (op, _) ->
             List.for_all
               (fun r ->
@@ -179,6 +230,17 @@ let optimize_loop stats (uniformity : Uniformity.t option) (loop : Core.op) =
               (Core.results op))
           loads
     in
+    List.iter
+      (fun (op, _) ->
+        remark ~name:"blocked-by-guard" Remarks.Missed ~op
+          (if Core.num_results loop > 0 then
+             "load not hoisted: the loop yields values, so it cannot be \
+              wrapped in a trip-count versioning guard"
+           else
+             "load not hoisted: its value is used outside the loop, so the \
+              versioned copy cannot be isolated"))
+      unguardable;
+    let loads = guardable in
     let distinct_checks =
       List.filter_map
         (fun (_, c) ->
@@ -214,7 +276,17 @@ let optimize_loop stats (uniformity : Uniformity.t option) (loop : Core.op) =
       (* Move hoisted loads + the optimized loop into the then branch. *)
       let then_anchor = List.hd then_block.Core.body (* the yield *) in
       List.iter
-        (fun (op, _) -> Core.move_before ~anchor:then_anchor op)
+        (fun (op, cls) ->
+          Core.move_before ~anchor:then_anchor op;
+          remark ~name:"hoisted-mem" Remarks.Passed ~op
+            (match cls with
+            | Hoist_load_if_distinct _ ->
+              "hoisted loop-invariant load under a trip-count guard plus a \
+               runtime accessor-disjointness check (alias analysis found a \
+               single versionable may-alias)"
+            | _ ->
+              "hoisted loop-invariant load under a trip-count guard (alias \
+               analysis proved no interfering store in the loop)"))
         loads;
       Core.detach_op loop;
       Core.insert_before ~anchor:then_anchor loop;

@@ -29,6 +29,8 @@ type candidate = {
 
 let is_loop op = Dialects.Scf.is_for op || Dialects.Affine_ops.is_for op
 
+let remark = Remarks.emit ~pass:"loop-internalization"
+
 (** Decompose the access-matrix rows of [a] against the candidate loop
     [loop]. Returns None when the shape is unsupported. *)
 let row_shapes (loop : Core.op) (a : Memory_access.access) : row_shape list option =
@@ -368,6 +370,16 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
     (Core.results loop);
   Core.walk loop ~f:(fun o -> if not (o == loop) then Core.erase_op_unsafe o);
   Core.erase_op_unsafe loop;
+  List.iter
+    (fun c ->
+      remark ~name:"prefetched" Remarks.Passed
+        ~func:(Core.func_sym kernel)
+        (Printf.sprintf
+           "accessor load with temporal reuse prefetched into a %dx%d \
+            work-group-local tile (loop tiled by the work-group size, with \
+            a runtime divisibility guard)"
+           m m))
+    cands;
   Pass.Stats.bump ~by:(List.length cands) stats "internalization.prefetched";
   Pass.Stats.bump stats "internalization.loops"
 
@@ -387,8 +399,12 @@ let innermost_loops (f : Core.op) =
   List.rev !loops
 
 let run_on_kernel (uniformity : Uniformity.t) (kernel : Core.op) stats =
+  let kname = Core.func_sym kernel in
   match wg_tile_size kernel ~kd:(Memory_access.kernel_dims kernel) with
-  | None -> ()
+  | None ->
+    remark ~name:"no-tile-size" Remarks.Missed ~func:kname
+      "kernel not internalized: no usable work-group tile size (launch \
+       configuration unknown or non-square)"
   | Some m ->
     let rd = Reaching_defs.analyze_with_args kernel in
     List.iter
@@ -406,8 +422,16 @@ let run_on_kernel (uniformity : Uniformity.t) (kernel : Core.op) stats =
           || List.exists
                (fun v -> Uniformity.value uniformity v <> Uniformity.Uniform)
                bound_operands
-        then Pass.Stats.bump stats "internalization.rejected-divergent"
-        else if loop_step loop <> Some 1 then ()
+        then begin
+          remark ~name:"rejected-divergent" Remarks.Missed ~op:loop
+            "loop not internalized: it sits in a divergent region or has \
+             non-uniform bounds, so the cooperative-fill barrier could \
+             deadlock";
+          Pass.Stats.bump stats "internalization.rejected-divergent"
+        end
+        else if loop_step loop <> Some 1 then
+          remark ~name:"rejected-step" Remarks.Missed ~op:loop
+            "loop not internalized: only unit-step loops are tiled"
         else begin
           let accesses = Memory_access.analyze_loop ~kernel rd loop in
           let cands =
@@ -427,8 +451,15 @@ let run_on_kernel (uniformity : Uniformity.t) (kernel : Core.op) stats =
                 not (Alias.may_alias mem c.cand_accessor))
               stores
           in
-          let cands = List.filter safe cands in
-          if cands <> [] then apply ~kernel loop cands ~m stats
+          let safe_cands = List.filter safe cands in
+          if List.length safe_cands < List.length cands then
+            remark ~name:"rejected-clobber" Remarks.Missed ~op:loop
+              (Printf.sprintf
+                 "%d candidate access(es) not prefetched: a store in the \
+                  loop may alias the accessor, so the local tile could go \
+                  stale"
+                 (List.length cands - List.length safe_cands));
+          if safe_cands <> [] then apply ~kernel loop safe_cands ~m stats
         end)
       (innermost_loops kernel)
 

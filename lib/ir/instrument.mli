@@ -1,0 +1,84 @@
+(** Pass instrumentation, mirrored on MLIR's PassInstrumentation:
+    [before_pass]/[after_pass] hooks fired around every pass execution by
+    {!Pass.run_pipeline}, plus the built-in instrumentations the
+    reproduction's workflow depends on — hierarchical timing
+    ([-mlir-timing]), IR-change detection (no-op pass runs flagged via
+    module fingerprints) and before/after IR snapshots. *)
+
+type t = {
+  i_name : string;
+  before_pass : pass_name:string -> Core.op -> unit;
+  after_pass : pass_name:string -> Core.op -> unit;
+}
+
+val make :
+  ?before_pass:(pass_name:string -> Core.op -> unit) ->
+  ?after_pass:(pass_name:string -> Core.op -> unit) ->
+  string ->
+  t
+
+(** Fire every [before_pass] hook, in registration order. *)
+val run_before : t list -> pass_name:string -> Core.op -> unit
+
+(** Fire every [after_pass] hook, in reverse registration order (so
+    paired instrumentations nest like MLIR's). *)
+val run_after : t list -> pass_name:string -> Core.op -> unit
+
+(** {1 Hierarchical timing} *)
+
+type timing_node = {
+  t_name : string;
+  mutable t_wall : float;  (** seconds, accumulated over executions *)
+  mutable t_count : int;  (** executions merged into this line *)
+  mutable t_children : timing_node list;
+}
+
+type timer
+
+val timer : unit -> timer
+
+(** The timing instrumentation: per-pass wall time, merged by pass name
+    like mlir's TimingManager. *)
+val timing : timer -> t
+
+(** Snapshot of the tree; the root's wall time is the elapsed time since
+    [timer] was created. *)
+val timing_report : timer -> timing_node
+
+(** Print the [-mlir-timing]-style report (total header, per-pass wall
+    time with percentages, Rest and Total lines). *)
+val pp_timing : Format.formatter -> timing_node -> unit
+
+(** {1 IR-change detection} *)
+
+(** Structural fingerprint of a module (digest of its canonical text). *)
+val fingerprint : Core.op -> Digest.t
+
+type change_log
+
+val change_log : unit -> change_log
+
+(** The change-detection instrumentation: fingerprints the module before
+    and after each pass. *)
+val ir_change : change_log -> t
+
+(** One entry per pass execution, in pipeline order: did it change the IR? *)
+val changes : change_log -> (string * bool) list
+
+(** Pass executions that left the module bit-identical. *)
+val noop_passes : change_log -> string list
+
+val pp_changes : Format.formatter -> change_log -> unit
+
+(** {1 IR snapshots} *)
+
+(** [dump ~filter ()] prints the module around every pass whose name
+    matches [filter] (a literal pass name, or ["all"]). [sink] receives
+    the banner and module text (default: stderr). *)
+val dump :
+  ?sink:(string -> unit) ->
+  ?before:bool ->
+  ?after:bool ->
+  filter:string ->
+  unit ->
+  t

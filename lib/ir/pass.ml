@@ -12,9 +12,11 @@ module Stats = struct
 
   let get (t : t) key = Option.value ~default:0 (Hashtbl.find_opt t key)
 
+  (* Deterministic by construction: order by key with an explicit string
+     comparison (never polymorphic compare over the pairs). *)
   let to_list (t : t) =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   let pp fmt (t : t) =
     List.iter
@@ -47,22 +49,21 @@ type pipeline_result = {
 
 (** Run [passes] over module [m]. When [verify_each] is set (default), the
     verifier runs after every pass and a failure is attributed to the pass
-    that just ran. *)
-let run_pipeline ?(verify_each = true) ?(dump_each = false) passes m =
+    that just ran. [instrumentations] fire around every pass execution
+    (timing, IR-change detection, dumps — see {!Instrument}). *)
+let run_pipeline ?(verify_each = true) ?(instrumentations = []) passes m =
   let per_pass_stats = ref [] in
   let per_pass_time = ref [] in
   List.iter
     (fun pass ->
       let stats = Stats.create () in
+      Instrument.run_before instrumentations ~pass_name:pass.pass_name m;
       let t0 = Unix.gettimeofday () in
       pass.run m stats;
       let dt = Unix.gettimeofday () -. t0 in
+      Instrument.run_after instrumentations ~pass_name:pass.pass_name m;
       per_pass_stats := (pass.pass_name, stats) :: !per_pass_stats;
       per_pass_time := (pass.pass_name, dt) :: !per_pass_time;
-      if dump_each then begin
-        Printf.eprintf "// ----- after %s -----\n" pass.pass_name;
-        Printer.print ~out:stderr m
-      end;
       if verify_each then
         match Verifier.verify m with
         | Ok () -> ()

@@ -36,10 +36,14 @@ type pipeline_result = {
 
 (** Run a pipeline over a module. With [verify_each] (default), the
     verifier runs after every pass and failures are attributed to the
-    pass that just ran; [dump_each] prints the module after each pass to
-    stderr. *)
+    pass that just ran; [instrumentations] fire around every pass
+    execution (see {!Instrument}). *)
 val run_pipeline :
-  ?verify_each:bool -> ?dump_each:bool -> t list -> Core.op -> pipeline_result
+  ?verify_each:bool ->
+  ?instrumentations:Instrument.t list ->
+  t list ->
+  Core.op ->
+  pipeline_result
 
 (** All pass statistics merged into one table keyed ["pass/stat"]. *)
 val merged_stats : pipeline_result -> Stats.t

@@ -1,0 +1,245 @@
+(* Optimization remarks in the style of LLVM's -Rpass / -Rpass-missed /
+   -Rpass-analysis: passes emit structured records saying what they did
+   (Passed), what they wanted to do but could not, and why (Missed), and
+   what they learned (Analysis). Emission goes through a process-global
+   sink, mirroring LLVM's remark streamer: when no sink is installed,
+   [emit] is a near-no-op, so instrumented passes cost nothing in normal
+   compilation. *)
+
+type kind =
+  | Passed
+  | Missed
+  | Analysis
+
+let kind_to_string = function
+  | Passed -> "passed"
+  | Missed -> "missed"
+  | Analysis -> "analysis"
+
+let kind_of_string = function
+  | "passed" -> Some Passed
+  | "missed" -> Some Missed
+  | "analysis" -> Some Analysis
+  | _ -> None
+
+type t = {
+  r_pass : string;  (** emitting pass, e.g. ["licm"] *)
+  r_name : string;  (** remark identifier, e.g. ["hoisted-mem"] *)
+  r_kind : kind;
+  r_func : string;  (** enclosing function / kernel ("?" when unknown) *)
+  r_op : string;  (** op name the remark anchors to ("" when none) *)
+  r_message : string;  (** human-readable reason *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The sink                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sink : (t -> unit) option ref = ref None
+
+let enabled () = !sink <> None
+
+let install f = sink := Some f
+let uninstall () = sink := None
+
+let emit ~pass ~name kind ?op ?func message =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    let func =
+      match (func, op) with
+      | Some f, _ -> f
+      | None, Some o -> (
+        match Core.enclosing_func o with
+        | Some f -> Core.func_sym f
+        | None -> "?")
+      | None, None -> "?"
+    in
+    s
+      {
+        r_pass = pass;
+        r_name = name;
+        r_kind = kind;
+        r_func = func;
+        r_op = (match op with Some o -> o.Core.name | None -> "");
+        r_message = message;
+      }
+
+(** Run [f] with a collecting sink installed; returns [f ()]'s result and
+    the remarks emitted during it, in emission order. The previous sink
+    (if any) still receives every remark, so collectors nest. *)
+let collect f =
+  let outer = !sink in
+  let acc = ref [] in
+  install (fun r ->
+      acc := r :: !acc;
+      match outer with Some s -> s r | None -> ());
+  Fun.protect
+    ~finally:(fun () -> sink := outer)
+    (fun () ->
+      let result = f () in
+      (result, List.rev !acc))
+
+(* ------------------------------------------------------------------ *)
+(* Text output (-Rpass style)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flag_of_kind = function
+  | Passed -> "-Rpass"
+  | Missed -> "-Rpass-missed"
+  | Analysis -> "-Rpass-analysis"
+
+let to_string (r : t) =
+  Printf.sprintf "%s: %s%s: %s [%s=%s:%s]"
+    (match r.r_kind with
+    | Passed -> "remark"
+    | Missed -> "remark (missed)"
+    | Analysis -> "remark (analysis)")
+    r.r_func
+    (if r.r_op = "" then "" else Printf.sprintf " (%s)" r.r_op)
+    r.r_message
+    (flag_of_kind r.r_kind)
+    r.r_pass r.r_name
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (r : t) =
+  Printf.sprintf
+    {|{"pass": "%s", "name": "%s", "kind": "%s", "function": "%s", "op": "%s", "message": "%s"}|}
+    (escape_json r.r_pass) (escape_json r.r_name)
+    (kind_to_string r.r_kind)
+    (escape_json r.r_func) (escape_json r.r_op) (escape_json r.r_message)
+
+let list_to_json rs =
+  "[\n  " ^ String.concat ",\n  " (List.map to_json rs) ^ "\n]\n"
+
+exception Json_error of string
+
+(* A minimal JSON reader covering exactly the shape [list_to_json]
+   produces: an array of flat objects with string values. *)
+let parse_json_remarks (s : string) : t list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else error (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'u' ->
+               if !pos + 4 >= n then error "bad \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+               (* Only the control characters we escape ourselves. *)
+               Buffer.add_char b (Char.chr (code land 0xff));
+               pos := !pos + 4
+             | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_object () =
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        let key = parse_string () in
+        expect ':';
+        skip_ws ();
+        let value = parse_string () in
+        fields := (key, value) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; skip_ws (); members ()
+        | Some '}' -> incr pos
+        | _ -> error "expected ',' or '}'"
+      in
+      members ()
+    end;
+    let field k =
+      match List.assoc_opt k !fields with
+      | Some v -> v
+      | None -> error (Printf.sprintf "missing field %S" k)
+    in
+    let kind =
+      match kind_of_string (field "kind") with
+      | Some k -> k
+      | None -> error "bad remark kind"
+    in
+    {
+      r_pass = field "pass";
+      r_name = field "name";
+      r_kind = kind;
+      r_func = field "function";
+      r_op = field "op";
+      r_message = field "message";
+    }
+  in
+  expect '[';
+  skip_ws ();
+  let out = ref [] in
+  if peek () = Some ']' then incr pos
+  else begin
+    let rec elements () =
+      out := parse_object () :: !out;
+      skip_ws ();
+      match peek () with
+      | Some ',' -> incr pos; skip_ws (); elements ()
+      | Some ']' -> incr pos
+      | _ -> error "expected ',' or ']'"
+    in
+    elements ()
+  end;
+  List.rev !out

@@ -1,0 +1,61 @@
+(** Optimization remarks in the style of LLVM's [-Rpass] /
+    [-Rpass-missed] / [-Rpass-analysis]: passes emit structured records
+    saying what they did ([Passed]), what they wanted to do but could
+    not, and why ([Missed]), and what they learned ([Analysis]).
+
+    Emission goes through a process-global sink mirroring LLVM's remark
+    streamer: with no sink installed, {!emit} is a near-no-op, so
+    instrumented passes cost nothing in normal compilation. *)
+
+type kind =
+  | Passed
+  | Missed
+  | Analysis
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type t = {
+  r_pass : string;  (** emitting pass, e.g. ["licm"] *)
+  r_name : string;  (** remark identifier, e.g. ["hoisted-mem"] *)
+  r_kind : kind;
+  r_func : string;  (** enclosing function / kernel ("?" when unknown) *)
+  r_op : string;  (** op name the remark anchors to ("" when none) *)
+  r_message : string;  (** human-readable reason *)
+}
+
+(** Is a sink installed? Passes may use this to skip expensive message
+    construction. *)
+val enabled : unit -> bool
+
+val install : (t -> unit) -> unit
+val uninstall : unit -> unit
+
+(** Emit a remark. The enclosing function name is derived from [op] when
+    [func] is not given. No-op when no sink is installed. *)
+val emit :
+  pass:string ->
+  name:string ->
+  kind ->
+  ?op:Core.op ->
+  ?func:string ->
+  string ->
+  unit
+
+(** Run a function with a collecting sink installed; returns its result
+    and the remarks emitted during it, in order. An outer sink (if any)
+    still receives every remark, so collectors nest. *)
+val collect : (unit -> 'a) -> 'a * t list
+
+(** ["remark: <func>: <message> [-Rpass=<pass>:<name>]"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+val list_to_json : t list -> string
+
+exception Json_error of string
+
+(** Parse what {!list_to_json} produces. Raises {!Json_error}. *)
+val parse_json_remarks : string -> t list

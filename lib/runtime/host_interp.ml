@@ -17,6 +17,7 @@ open Mlir
 module Interp = Sycl_sim.Interp
 module Memory = Sycl_sim.Memory
 module Cost = Sycl_sim.Cost
+module Profile = Sycl_sim.Profile
 module Sycl_types = Sycl_core.Sycl_types
 module Sycl_host_ops = Sycl_core.Sycl_host_ops
 module Dead_arg_elim = Sycl_core.Dead_arg_elim
@@ -56,6 +57,8 @@ type run_result = {
   kernel_launches : int;
   dependency_edges : int;
   per_kernel : (string * Cost.launch_stats) list;
+  events : Profile.event list;
+      (** the run's charge timeline, for trace export / profiling *)
 }
 
 type state = {
@@ -68,6 +71,7 @@ type state = {
   launch_hook : (Core.op -> launch_info -> unit) option;
   jit_cycles_per_kernel : int;
   jitted : (string, unit) Hashtbl.t;
+  recorder : Profile.recorder;
   mutable r_device : int;
   mutable r_launch : int;
   mutable r_transfer : int;
@@ -144,6 +148,9 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   let deps = Objects.dependencies_of h.Objects.h_captures in
   st.r_deps <- st.r_deps + List.length deps;
   st.r_sched <- st.r_sched + st.params.Cost.scheduler_cycles;
+  Profile.record st.recorder ~cat:"scheduler" ~name:"command-group"
+    ~args:[ ("dependency_edges", List.length deps) ]
+    ~dur:st.params.Cost.scheduler_cycles ();
   (* Data movement + argument binding. *)
   let max_idx =
     List.fold_left (fun acc (i, _) -> max acc i) 0 h.Objects.h_captures
@@ -159,6 +166,8 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
         let b = a.Objects.acc_buffer in
         let dev, cost = Objects.ensure_on_device st.params b in
         st.r_transfer <- st.r_transfer + cost;
+        Profile.record st.recorder ~cat:"transfer"
+          ~name:("h2d:" ^ b.Objects.b_host.Memory.label) ~dur:cost ();
         (match a.Objects.acc_mode with
         | Sycl_types.Write | Sycl_types.Read_write -> b.Objects.b_device_dirty <- true
         | Sycl_types.Read -> ());
@@ -186,7 +195,10 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
             in
             Memory.blit ~src:(Memory.full_view host) ~dst:(Memory.full_view d)
               elems;
-            st.r_transfer <- st.r_transfer + Cost.transfer_cycles st.params ~elems;
+            let cost = Cost.transfer_cycles st.params ~elems in
+            st.r_transfer <- st.r_transfer + cost;
+            Profile.record st.recorder ~cat:"transfer"
+              ~name:("h2d:" ^ host.Memory.label) ~dur:cost ();
             Hashtbl.replace st.device_copies host.Memory.aid d;
             d
         in
@@ -198,6 +210,8 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   | Some hook when not (Hashtbl.mem st.jitted kernel_name) ->
     Hashtbl.replace st.jitted kernel_name ();
     st.r_jit <- st.r_jit + st.jit_cycles_per_kernel;
+    Profile.record st.recorder ~cat:"jit" ~name:("jit:" ^ kernel_name)
+      ~dur:st.jit_cycles_per_kernel ();
     let pairs = ref [] in
     List.iteri
       (fun i (idx_a, aid_a) ->
@@ -260,14 +274,20 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
       let arr = Array.of_list !expanded in
       (arr, Array.length arr - 1)
   in
-  st.r_launch <- st.r_launch + Cost.launch_overhead st.params ~live_args;
+  let overhead = Cost.launch_overhead st.params ~live_args in
+  st.r_launch <- st.r_launch + overhead;
   st.r_launch_count <- st.r_launch_count + 1;
+  Profile.record st.recorder ~cat:"launch" ~name:kernel_name
+    ~args:[ ("live_args", live_args) ] ~dur:overhead ();
   (* Execute on the device simulator. *)
   let stats =
     Interp.launch ~params:st.params ~module_op:st.module_op ~kernel ~args
       ~global ~wg_size:wg ()
   in
-  st.r_device <- st.r_device + Cost.device_cycles st.params stats;
+  let dev_cycles = Cost.device_cycles st.params stats in
+  st.r_device <- st.r_device + dev_cycles;
+  Profile.record st.recorder ~cat:"kernel" ~name:kernel_name
+    ~args:(Profile.breakdown st.params stats) ~dur:dev_cycles ();
   st.r_per_kernel <- (kernel_name, stats) :: st.r_per_kernel;
   let cmd_id = q.Objects.q_next_cmd in
   q.Objects.q_next_cmd <- cmd_id + 1;
@@ -428,7 +448,10 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
   | "sycl.host.wait" -> `Next
   | "sycl.host.buffer_dtor" ->
     let b = as_buffer (operand 0) in
-    st.r_transfer <- st.r_transfer + Objects.sync_to_host st.params b;
+    let cost = Objects.sync_to_host st.params b in
+    st.r_transfer <- st.r_transfer + cost;
+    Profile.record st.recorder ~cat:"transfer"
+      ~name:("d2h:" ^ b.Objects.b_host.Memory.label) ~dur:cost ();
     `Next
   | "sycl.host.malloc_device" ->
     let n = as_int (operand 1) in
@@ -444,7 +467,9 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
     in
     let dst = view_of (operand 1) and src = view_of (operand 2) in
     Memory.blit ~src ~dst n;
-    st.r_transfer <- st.r_transfer + Cost.transfer_cycles st.params ~elems:n;
+    let cost = Cost.transfer_cycles st.params ~elems:n in
+    st.r_transfer <- st.r_transfer + cost;
+    Profile.record st.recorder ~cat:"transfer" ~name:"memcpy" ~dur:cost ();
     `Next)
   | "sycl.host.free" -> `Next
   | "func.return" -> `Yield []
@@ -474,6 +499,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0)
       launch_hook;
       jit_cycles_per_kernel = jit_cycles;
       jitted = Hashtbl.create 4;
+      recorder = Profile.recorder ();
       r_device = 0;
       r_launch = 0;
       r_transfer = 0;
@@ -502,4 +528,5 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0)
     kernel_launches = st.r_launch_count;
     dependency_edges = st.r_deps;
     per_kernel = List.rev st.r_per_kernel;
+    events = Profile.events st.recorder;
   }

@@ -11,6 +11,7 @@ open Mlir
 module Interp = Sycl_sim.Interp
 module Memory = Sycl_sim.Memory
 module Cost = Sycl_sim.Cost
+module Profile = Sycl_sim.Profile
 
 exception Host_error of string
 
@@ -43,6 +44,8 @@ type run_result = {
   kernel_launches : int;
   dependency_edges : int;
   per_kernel : (string * Cost.launch_stats) list;
+  events : Profile.event list;
+      (** the run's charge timeline, for trace export / profiling *)
 }
 
 (** Execute host function [main] of the module. [launch_hook], when

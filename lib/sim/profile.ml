@@ -1,0 +1,249 @@
+(* Simulator trace profiling: a timeline of everything the cost model
+   charges during a run (scheduler bookkeeping, transfers, JIT, launch
+   overhead, device execution), exportable in the Chrome trace format so
+   chrome://tracing or Perfetto render the simulated run, plus per-kernel
+   profiles aggregated from the same events.
+
+   Time convention: one simulated cycle is exported as one microsecond
+   (the trace format's [ts]/[dur] unit), so cycle counts read directly
+   off the trace viewer. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+      (** "scheduler" | "transfer" | "jit" | "launch" | "kernel" *)
+  ev_ts : int;  (** start, in simulated cycles *)
+  ev_dur : int;  (** duration, in simulated cycles *)
+  ev_args : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Records events on a single simulated timeline: each recorded event
+    starts at the current clock and advances it — the host runtime is
+    in-order, so charges simply concatenate. *)
+type recorder = {
+  mutable rc_clock : int;
+  mutable rc_rev : event list;  (** newest first *)
+}
+
+let recorder () = { rc_clock = 0; rc_rev = [] }
+
+let record (r : recorder) ~(cat : string) ~(name : string)
+    ?(args = []) ~(dur : int) () =
+  if dur > 0 then begin
+    r.rc_rev <-
+      { ev_name = name; ev_cat = cat; ev_ts = r.rc_clock; ev_dur = dur;
+        ev_args = args }
+      :: r.rc_rev;
+    r.rc_clock <- r.rc_clock + dur
+  end
+
+let events (r : recorder) = List.rev r.rc_rev
+
+(* ------------------------------------------------------------------ *)
+(* Kernel event payload                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Cycle breakdown of a launch under [p]: the categories the cost model
+    charges per work-group, totalled across the launch. *)
+let breakdown (p : Cost.params) (s : Cost.launch_stats) : (string * int) list =
+  [
+    ("compute_cycles",
+     (s.Cost.alu_ops * p.Cost.alu_cycles)
+     + (s.Cost.fdiv_ops * p.Cost.fdiv_cycles));
+    ("memory_cycles",
+     (s.Cost.global_transactions * p.Cost.global_mem_cycles)
+     + (s.Cost.local_transactions * p.Cost.local_mem_cycles)
+     + (s.Cost.const_transactions * p.Cost.const_mem_cycles));
+    ("barrier_cycles", s.Cost.barriers * p.Cost.barrier_cycles);
+    ("global_transactions", s.Cost.global_transactions);
+    ("local_transactions", s.Cost.local_transactions);
+    ("const_transactions", s.Cost.const_transactions);
+    ("work_groups", s.Cost.work_groups);
+    ("work_items", s.Cost.work_items);
+    ("total_wg_cycles", s.Cost.total_wg_cycles);
+    ("max_wg_cycles", s.Cost.max_wg_cycles);
+    ("num_cu", p.Cost.num_cu);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-kernel profiles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_profile = {
+  kp_name : string;
+  kp_launches : int;
+  kp_launch_cycles : int;  (** host-side launch overhead *)
+  kp_device_cycles : int;  (** device wall time (work-groups spread over CUs) *)
+  kp_compute_cycles : int;
+  kp_memory_cycles : int;
+  kp_barrier_cycles : int;
+  kp_global_transactions : int;
+  kp_local_transactions : int;
+  kp_const_transactions : int;
+  kp_work_items : int;
+  kp_occupancy : float;
+      (** fraction of CU capacity busy while the kernel ran:
+          total work-group cycles / (num_cu * device wall cycles) *)
+}
+
+let arg (e : event) k =
+  match List.assoc_opt k e.ev_args with Some v -> v | None -> 0
+
+(** Aggregate per-kernel profiles from a run's events. Kernel execution
+    events (cat ["kernel"]) carry the {!breakdown} payload; launch-
+    overhead events (cat ["launch"]) share the kernel's name and
+    contribute [kp_launch_cycles]. Order follows first launch. *)
+let of_events (evs : event list) : kernel_profile list =
+  let tbl : (string, kernel_profile) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some p -> p
+    | None ->
+      order := name :: !order;
+      {
+        kp_name = name;
+        kp_launches = 0;
+        kp_launch_cycles = 0;
+        kp_device_cycles = 0;
+        kp_compute_cycles = 0;
+        kp_memory_cycles = 0;
+        kp_barrier_cycles = 0;
+        kp_global_transactions = 0;
+        kp_local_transactions = 0;
+        kp_const_transactions = 0;
+        kp_work_items = 0;
+        kp_occupancy = 0.;
+      }
+  in
+  (* The occupancy numerator/denominator accumulate separately. *)
+  let busy : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let num_cu : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e.ev_cat with
+      | "kernel" ->
+        let p = get e.ev_name in
+        Hashtbl.replace busy e.ev_name
+          (Option.value ~default:0 (Hashtbl.find_opt busy e.ev_name)
+          + arg e "total_wg_cycles");
+        Hashtbl.replace num_cu e.ev_name (arg e "num_cu");
+        Hashtbl.replace tbl e.ev_name
+          {
+            p with
+            kp_launches = p.kp_launches + 1;
+            kp_device_cycles = p.kp_device_cycles + e.ev_dur;
+            kp_compute_cycles = p.kp_compute_cycles + arg e "compute_cycles";
+            kp_memory_cycles = p.kp_memory_cycles + arg e "memory_cycles";
+            kp_barrier_cycles = p.kp_barrier_cycles + arg e "barrier_cycles";
+            kp_global_transactions =
+              p.kp_global_transactions + arg e "global_transactions";
+            kp_local_transactions =
+              p.kp_local_transactions + arg e "local_transactions";
+            kp_const_transactions =
+              p.kp_const_transactions + arg e "const_transactions";
+            kp_work_items = p.kp_work_items + arg e "work_items";
+          }
+      | "launch" ->
+        let p = get e.ev_name in
+        Hashtbl.replace tbl e.ev_name
+          { p with kp_launch_cycles = p.kp_launch_cycles + e.ev_dur }
+      | _ -> ())
+    evs;
+  List.rev_map
+    (fun name ->
+      let p = Hashtbl.find tbl name in
+      let cu = Option.value ~default:0 (Hashtbl.find_opt num_cu name) in
+      let b = Option.value ~default:0 (Hashtbl.find_opt busy name) in
+      let occ =
+        if cu > 0 && p.kp_device_cycles > 0 then
+          min 1.0 (float_of_int b /. float_of_int (cu * p.kp_device_cycles))
+        else 0.
+      in
+      { p with kp_occupancy = occ })
+    !order
+
+let pp_table fmt (ps : kernel_profile list) =
+  Format.fprintf fmt
+    "%-24s %8s %10s %10s %10s %10s %9s %16s %9s %6s@\n"
+    "kernel" "launches" "launch" "device" "compute" "memory" "barrier"
+    "tx(g/l/c)" "items" "occ";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt
+        "%-24s %8d %10d %10d %10d %10d %9d %16s %9d %5.0f%%@\n"
+        p.kp_name p.kp_launches p.kp_launch_cycles p.kp_device_cycles
+        p.kp_compute_cycles p.kp_memory_cycles p.kp_barrier_cycles
+        (Printf.sprintf "%d/%d/%d" p.kp_global_transactions
+           p.kp_local_transactions p.kp_const_transactions)
+        p.kp_work_items
+        (100. *. p.kp_occupancy))
+    ps
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One process, one thread per charge category, so the viewer renders
+   host bookkeeping, transfers and device execution as separate rows. *)
+let tid_of_cat = function
+  | "kernel" -> 3
+  | "transfer" -> 2
+  | _ -> 1 (* scheduler / launch / jit: host runtime *)
+
+let thread_names = [ (1, "host runtime"); (2, "transfers"); (3, "device") ]
+
+(** Serialize events as a Chrome-trace JSON document ([traceEvents],
+    complete events [ph:"X"], 1 cycle = 1 us) for chrome://tracing or
+    Perfetto. *)
+let to_chrome_json (evs : event list) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit s =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun (tid, name) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape name)))
+    thread_names;
+  List.iter
+    (fun e ->
+      let args =
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+             e.ev_args)
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+           (json_escape e.ev_name) (json_escape e.ev_cat) e.ev_ts e.ev_dur
+           (tid_of_cat e.ev_cat) args))
+    evs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b

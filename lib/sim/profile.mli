@@ -1,0 +1,73 @@
+(** Simulator trace profiling: a timeline of every cost-model charge in
+    a run, exportable as Chrome-trace JSON (chrome://tracing, Perfetto),
+    plus per-kernel profiles aggregated from the same events.
+
+    Time convention: 1 simulated cycle = 1 us of trace time, so cycle
+    counts read directly off the trace viewer. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+      (** "scheduler" | "transfer" | "jit" | "launch" | "kernel" *)
+  ev_ts : int;  (** start, in simulated cycles *)
+  ev_dur : int;  (** duration, in simulated cycles *)
+  ev_args : (string * int) list;
+}
+
+(** Records events on a single simulated timeline: each event starts at
+    the current clock and advances it (the host runtime is in-order). *)
+type recorder = {
+  mutable rc_clock : int;
+  mutable rc_rev : event list;  (** newest first *)
+}
+
+val recorder : unit -> recorder
+
+(** Append an event at the current clock and advance it by [dur].
+    Zero-duration charges are dropped. *)
+val record :
+  recorder ->
+  cat:string ->
+  name:string ->
+  ?args:(string * int) list ->
+  dur:int ->
+  unit ->
+  unit
+
+(** Recorded events, oldest first. *)
+val events : recorder -> event list
+
+(** Cycle breakdown of a launch — the args payload of a kernel event:
+    compute/memory/barrier cycles, transaction and work-item counts,
+    [total_wg_cycles], [max_wg_cycles], [num_cu]. *)
+val breakdown : Cost.params -> Cost.launch_stats -> (string * int) list
+
+type kernel_profile = {
+  kp_name : string;
+  kp_launches : int;
+  kp_launch_cycles : int;  (** host-side launch overhead *)
+  kp_device_cycles : int;
+      (** device wall time (work-groups spread over CUs) *)
+  kp_compute_cycles : int;
+  kp_memory_cycles : int;
+  kp_barrier_cycles : int;
+  kp_global_transactions : int;
+  kp_local_transactions : int;
+  kp_const_transactions : int;
+  kp_work_items : int;
+  kp_occupancy : float;
+      (** total work-group cycles / (num_cu * device wall cycles),
+          clamped to 1 *)
+}
+
+(** Aggregate per-kernel profiles from a run's events: cat ["kernel"]
+    events carry the {!breakdown} payload; cat ["launch"] events share
+    the kernel's name and contribute [kp_launch_cycles]. Ordered by
+    first launch. *)
+val of_events : event list -> kernel_profile list
+
+val pp_table : Format.formatter -> kernel_profile list -> unit
+
+(** Serialize as a Chrome-trace JSON document ([traceEvents], complete
+    events [ph:"X"], one process with host/transfer/device rows). *)
+val to_chrome_json : event list -> string

@@ -1,0 +1,106 @@
+(* Pass instrumentation: timing-tree shape, IR-change detection via
+   module fingerprints, and before/after IR snapshots. *)
+
+open Mlir
+module A = Dialects.Arith
+
+(* A module whose function contains one dead pure op: the first dce run
+   erases it (IR changes), a second run finds nothing (no-op). *)
+let module_with_dead_op () =
+  let m, _f =
+    Helpers.with_func ~args:[ Types.i64 ] (fun b vals ->
+        let x = List.hd vals in
+        ignore (A.addi b x x))
+  in
+  m
+
+let tests_list =
+  [
+    Alcotest.test_case "timing tree merges repeated passes by name" `Quick
+      (fun () ->
+        let m = module_with_dead_op () in
+        let tm = Instrument.timer () in
+        ignore
+          (Pass.run_pipeline ~verify_each:false
+             ~instrumentations:[ Instrument.timing tm ]
+             [ Sycl_core.Dce.pass; Sycl_core.Canonicalize.pass;
+               Sycl_core.Dce.pass ]
+             m);
+        let root = Instrument.timing_report tm in
+        let names =
+          List.map (fun c -> c.Instrument.t_name) root.Instrument.t_children
+        in
+        Alcotest.(check (list string)) "one line per distinct pass"
+          [ "dce"; "canonicalize" ] names;
+        let dce = List.hd root.Instrument.t_children in
+        Alcotest.(check int) "both dce runs merged" 2 dce.Instrument.t_count;
+        Alcotest.(check bool) "root covers its children" true
+          (root.Instrument.t_wall
+          >= List.fold_left
+               (fun a c -> a +. c.Instrument.t_wall)
+               0.0 root.Instrument.t_children);
+        (* The report must render (with a Total line) without raising. *)
+        let buf = Buffer.create 256 in
+        let fmt = Format.formatter_of_buffer buf in
+        Instrument.pp_timing fmt root;
+        Format.pp_print_flush fmt ();
+        Alcotest.(check bool) "report has a Total line" true
+          (let s = Buffer.contents buf in
+           let rec contains i =
+             i + 5 <= String.length s
+             && (String.sub s i 5 = "Total" || contains (i + 1))
+           in
+           contains 0));
+    Alcotest.test_case "ir-change flags the no-op second dce run" `Quick
+      (fun () ->
+        let m = module_with_dead_op () in
+        let cl = Instrument.change_log () in
+        ignore
+          (Pass.run_pipeline ~verify_each:false
+             ~instrumentations:[ Instrument.ir_change cl ]
+             [ Sycl_core.Dce.pass; Sycl_core.Dce.pass ]
+             m);
+        Alcotest.(check (list (pair string bool)))
+          "first run changes, second is a no-op"
+          [ ("dce", true); ("dce", false) ]
+          (Instrument.changes cl);
+        Alcotest.(check (list string)) "no-op list" [ "dce" ]
+          (Instrument.noop_passes cl));
+    Alcotest.test_case "fingerprint is stable and change-sensitive" `Quick
+      (fun () ->
+        let m = module_with_dead_op () in
+        let fp1 = Instrument.fingerprint m in
+        Alcotest.(check bool) "re-fingerprinting is identical" true
+          (Digest.equal fp1 (Instrument.fingerprint m));
+        ignore
+          (Pass.run_pipeline ~verify_each:false [ Sycl_core.Dce.pass ] m);
+        Alcotest.(check bool) "erasing an op changes the fingerprint" false
+          (Digest.equal fp1 (Instrument.fingerprint m)));
+    Alcotest.test_case "dump-after fires once per matching pass run" `Quick
+      (fun () ->
+        let m = module_with_dead_op () in
+        let buf = Buffer.create 256 in
+        ignore
+          (Pass.run_pipeline ~verify_each:false
+             ~instrumentations:
+               [ Instrument.dump ~sink:(Buffer.add_string buf) ~filter:"dce" () ]
+             [ Sycl_core.Dce.pass; Sycl_core.Canonicalize.pass;
+               Sycl_core.Dce.pass ]
+             m);
+        let s = Buffer.contents buf in
+        let count_banner banner =
+          let bl = String.length banner in
+          let rec go i acc =
+            if i + bl > String.length s then acc
+            else if String.sub s i bl = banner then go (i + bl) (acc + 1)
+            else go (i + 1) acc
+          in
+          go 0 0
+        in
+        Alcotest.(check int) "two dce banners" 2
+          (count_banner "// ----- IR after dce -----");
+        Alcotest.(check int) "canonicalize not dumped" 0
+          (count_banner "// ----- IR after canonicalize -----"));
+  ]
+
+let tests = ("instrument", tests_list)

@@ -1,0 +1,127 @@
+(* Optimization remarks: pass-level emission (Passed/Missed with
+   reasons), the collecting sink, and the JSON round-trip. *)
+
+open Mlir
+module A = Dialects.Arith
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+module Driver = Sycl_core.Driver
+
+let find_remarks ~pass ~kind rs =
+  List.filter
+    (fun r -> r.Remarks.r_pass = pass && r.Remarks.r_kind = kind)
+    rs
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay
+    && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let tests_list =
+  [
+    Alcotest.test_case "licm reports the blocking alias reason" `Quick
+      (fun () ->
+        (* The known-blocked shape from the LICM tests: a[0] is read and
+           must-alias-stored every iteration, so the load cannot hoist. *)
+        let _m, f =
+          Helpers.with_kernel ~dims:1
+            ~args:[ K.Acc (1, S.Read_write, Types.f32); K.Scal Types.Index ]
+            (fun b ~item:_ ~args ->
+              match args with
+              | [ a; n ] ->
+                let zero = A.const_index b 0 in
+                let one = A.const_index b 1 in
+                let a0 = K.acc_view b a [ zero ] in
+                ignore
+                  (Dialects.Scf.for_ b ~lb:zero ~ub:n ~step:one (fun bb _iv _ ->
+                       let v = Dialects.Memref.load bb a0 [ zero ] in
+                       Dialects.Memref.store bb (A.addf bb v v) a0 [ zero ];
+                       []))
+              | _ -> assert false)
+        in
+        let (), rs =
+          Remarks.collect (fun () ->
+              Sycl_core.Licm.run_on_func f (Pass.Stats.create ()))
+        in
+        match find_remarks ~pass:"licm" ~kind:Remarks.Missed rs with
+        | [] -> Alcotest.fail "expected a missed-optimization remark from licm"
+        | r :: _ ->
+          Alcotest.(check bool) "names the aliasing store" true
+            (contains ~needle:"must-aliasing store" r.Remarks.r_message);
+          Alcotest.(check string) "anchored to the load" "memref.load"
+            r.Remarks.r_op;
+          Alcotest.(check string) "in the kernel" "k" r.Remarks.r_func);
+    Alcotest.test_case "full pipeline on gemm: internalization Passed" `Quick
+      (fun () ->
+        let w = Sycl_workloads.Polybench.gemm ~n:16 in
+        let m = w.Sycl_workloads.Common.w_module () in
+        let _c, rs =
+          Remarks.collect (fun () ->
+              Driver.compile (Driver.config Driver.Sycl_mlir) m)
+        in
+        Alcotest.(check bool) "loop-internalization passed remark" true
+          (find_remarks ~pass:"loop-internalization" ~kind:Remarks.Passed rs
+          <> []);
+        Alcotest.(check bool) "reduction rewrite reported" true
+          (find_remarks ~pass:"detect-reduction" ~kind:Remarks.Passed rs <> []);
+        (* Every remark from the device passes names the kernel. *)
+        List.iter
+          (fun r -> Alcotest.(check string) "kernel name" "gemm" r.Remarks.r_func)
+          (find_remarks ~pass:"loop-internalization" ~kind:Remarks.Passed rs));
+    Alcotest.test_case "dpcpp baseline reports the missing alias info" `Quick
+      (fun () ->
+        let w = Sycl_workloads.Polybench.gemm ~n:16 in
+        let m = w.Sycl_workloads.Common.w_module () in
+        let _c, rs =
+          Remarks.collect (fun () ->
+              Driver.compile (Driver.config Driver.Dpcpp) m)
+        in
+        match find_remarks ~pass:"licm-pure" ~kind:Remarks.Missed rs with
+        | [] -> Alcotest.fail "expected a missed remark from the baseline LICM"
+        | r :: _ ->
+          Alcotest.(check bool) "reason names the missing alias facts" true
+            (contains ~needle:"aliasing facts" r.Remarks.r_message));
+    Alcotest.test_case "no sink installed means emission is off" `Quick
+      (fun () ->
+        Alcotest.(check bool) "disabled outside collect" false
+          (Remarks.enabled ());
+        let (), rs = Remarks.collect (fun () -> ()) in
+        Alcotest.(check int) "nothing collected" 0 (List.length rs));
+    Alcotest.test_case "remark JSON round-trips" `Quick (fun () ->
+        let rs =
+          [
+            { Remarks.r_pass = "licm"; r_name = "hoisted-mem";
+              r_kind = Remarks.Passed; r_func = "k"; r_op = "memref.load";
+              r_message = "hoisted \"guarded\" load\nsecond line \\ end" };
+            { Remarks.r_pass = "kernel-fusion"; r_name = "not-fused";
+              r_kind = Remarks.Missed; r_func = "main"; r_op = "";
+              r_message = "a kernel contains a work-group barrier" };
+            { Remarks.r_pass = "host-device-propagation";
+              r_name = "noalias-pair"; r_kind = Remarks.Analysis;
+              r_func = "gemm"; r_op = ""; r_message = "args 1 and 2 disjoint" };
+          ]
+        in
+        let parsed = Remarks.parse_json_remarks (Remarks.list_to_json rs) in
+        Alcotest.(check int) "same count" (List.length rs) (List.length parsed);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              ("round-trip of " ^ a.Remarks.r_name)
+              true (a = b))
+          rs parsed);
+    Alcotest.test_case "collectors nest and outer sink still fires" `Quick
+      (fun () ->
+        let (((), inner), outer) =
+          Remarks.collect (fun () ->
+              Remarks.collect (fun () ->
+                  Remarks.emit ~pass:"p" ~name:"n" Remarks.Passed ~func:"f"
+                    "msg"))
+        in
+        Alcotest.(check int) "inner sees it" 1 (List.length inner);
+        Alcotest.(check int) "outer sees it too" 1 (List.length outer));
+  ]
+
+let tests = ("remarks", tests_list)
