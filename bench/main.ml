@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- passes  — Bechamel pass-time microbenchmarks
      dune exec bench/main.exe -- profile — compile timing tree + Chrome trace
                                            of a simulated GEMM run
+     dune exec bench/main.exe -- fuzz [--seed N] [--iters N] [--json PATH]
+                                         — differential fuzzing harness
 
    Absolute paper numbers came from an Intel Data Center GPU Max 1100;
    ours come from the transaction-level simulator — only the shape of the
@@ -233,6 +235,103 @@ let run_fusion () =
     (Mlir.Pass.Stats.get stats "store-forwarding/store-forwarding.forwarded")
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing (see DESIGN.md, "Testing & fuzzing")            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when c < ' ' -> Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** [fuzz] — the differential-testing harness over the random IR
+    generator and the workload suite. Three oracles per DESIGN.md:
+    (a) print→parse→print fixpoint on every generated module,
+    (b) verifier acceptance after every pass of the SYCL-MLIR pipeline,
+    (c) simulator differential (optimized vs. unoptimized) on randomized
+        ND-ranges, with pass bisection naming the first divergent pass.
+    Oracles (b)/(c) run on workload modules every [--diff-every]
+    iterations; oracle (a) runs on a fresh random module every
+    iteration. *)
+let run_fuzz () =
+  let seed = ref 42 and iters = ref 500 and diff_every = ref 100 in
+  let json_path = ref None in
+  let rec parse_args = function
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse_args rest
+    | "--iters" :: v :: rest -> iters := int_of_string v; parse_args rest
+    | "--diff-every" :: v :: rest -> diff_every := int_of_string v; parse_args rest
+    | "--json" :: v :: rest -> json_path := Some v; parse_args rest
+    | [] -> ()
+    | other :: _ ->
+      Printf.eprintf "fuzz: unknown argument %s\n" other;
+      exit 2
+  in
+  parse_args (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
+  Dialects.Register.init ();
+  (* (iteration, oracle, detail) *)
+  let failures : (int * string * string) list ref = ref [] in
+  let record i oracle detail =
+    failures := (i, oracle, detail) :: !failures;
+    Printf.printf "  FAIL iter=%d %s: %s\n%!" i oracle detail
+  in
+  let roundtrip_runs = ref 0 and diff_runs = ref 0 in
+  for i = 0 to !iters - 1 do
+    (* Oracle (a) on a fresh random module. *)
+    incr roundtrip_runs;
+    let g = Mlir.Irgen.create (!seed + i) in
+    (match Mlir.Difftest.check_roundtrip (Mlir.Irgen.gen_module g) with
+    | Ok () -> ()
+    | Error f -> record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+    (* Oracles (b) and (c) on a randomized workload, every diff-every
+       iterations (they execute the simulator, so they are costly). *)
+    if i mod !diff_every = 0 then begin
+      incr diff_runs;
+      let rng = Random.State.make [| !seed; i |] in
+      let w = Differential.random_workload rng in
+      let cfg = Driver.config Driver.Sycl_mlir in
+      let passes = Driver.host_pipeline cfg @ Driver.device_pipeline cfg in
+      (match
+         Mlir.Difftest.check_pipeline_verified ~passes (w.Common.w_module ())
+       with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle
+          (w.Common.w_name ^ ": " ^ f.Mlir.Difftest.f_detail));
+      match Differential.check w with
+      | Ok () -> ()
+      | Error d ->
+        record i "differential" (Differential.divergence_to_string d)
+    end
+  done;
+  let failures = List.rev !failures in
+  Printf.printf
+    "\nfuzz: seed=%d iters=%d — %d round-trip checks, %d verify+differential rounds, %d failure(s)\n"
+    !seed !iters !roundtrip_runs !diff_runs (List.length failures);
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Printf.fprintf oc
+          "{\n  \"seed\": %d,\n  \"iters\": %d,\n  \"roundtrip_checks\": %d,\n  \"differential_rounds\": %d,\n  \"failures\": ["
+          !seed !iters !roundtrip_runs !diff_runs;
+        List.iteri
+          (fun k (i, oracle, detail) ->
+            Printf.fprintf oc "%s\n    {\"iter\": %d, \"oracle\": \"%s\", \"detail\": \"%s\"}"
+              (if k > 0 then "," else "") i (json_escape oracle) (json_escape detail))
+          failures;
+        Printf.fprintf oc "\n  ]\n}\n");
+    Printf.printf "fuzz: report written to %s\n" path);
+  if failures <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Observability: compile-time timing tree + simulator trace for GEMM   *)
 (* ------------------------------------------------------------------ *)
 
@@ -270,6 +369,7 @@ let () =
   | "passes" -> run_passes ()
   | "fusion" -> run_fusion ()
   | "profile" -> run_profile ()
+  | "fuzz" -> run_fuzz ()
   | "all" ->
     run_fig2 ();
     run_fig3 ();
@@ -279,7 +379,7 @@ let () =
     run_fusion ();
     run_passes ()
   | other ->
-    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|all)\n"
+    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|fuzz|all)\n"
       other;
     exit 1);
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

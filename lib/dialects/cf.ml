@@ -1,0 +1,56 @@
+(* Unstructured control flow: cf.br and cf.cond_br terminators carrying
+   block successors, following MLIR's cf dialect. These are what the
+   random IR generator uses to exercise multi-block CFG printing and
+   parsing (block labels, forward successor references). *)
+
+open Mlir
+
+(** [br b ~dest ~args] builds an unconditional branch. [args] are the
+    values forwarded to [dest]'s block arguments. *)
+let br b ~dest ?(args = []) () =
+  Builder.op0 b "cf.br" ~operands:args ~successors:[ dest ]
+
+(** [cond_br b cond ~then_ ~else_] branches on an i1 condition. Branch
+    arguments are not modelled separately per edge: [args] go to
+    whichever successor is taken (both must agree on signature). *)
+let cond_br b cond ~then_ ~else_ ?(args = []) () =
+  Builder.op0 b "cf.cond_br" ~operands:(cond :: args)
+    ~successors:[ then_; else_ ]
+
+let is_br op = op.Core.name = "cf.br"
+let is_cond_br op = op.Core.name = "cf.cond_br"
+
+let init_done = ref false
+
+let init () =
+  if not !init_done then begin
+    init_done := true;
+    Op_registry.register "cf.br"
+      {
+        Op_registry.default_info with
+        Op_registry.terminator = true;
+        Op_registry.memory_effects = (fun _ -> Some []);
+        Op_registry.verify =
+          (fun op ->
+            if Core.num_successors op <> 1 then
+              Error "cf.br takes exactly one successor"
+            else Ok ());
+      };
+    Op_registry.register "cf.cond_br"
+      {
+        Op_registry.default_info with
+        Op_registry.terminator = true;
+        Op_registry.memory_effects = (fun _ -> Some []);
+        Op_registry.verify =
+          (fun op ->
+            let ( let* ) = Verifier.( let* ) in
+            let* () =
+              Verifier.check_operand_type op 0
+                (fun ty -> ty = Types.Integer 1)
+                ~expected:"i1"
+            in
+            if Core.num_successors op <> 2 then
+              Error "cf.cond_br takes exactly two successors"
+            else Ok ());
+      }
+  end

@@ -7,4 +7,5 @@ let init () =
   Affine_ops.init ();
   Func.init ();
   Gpu.init ();
-  Llvm.init ()
+  Llvm.init ();
+  Cf.init ()

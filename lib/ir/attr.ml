@@ -14,12 +14,53 @@ type t =
   | Dense_float of float array
   | Affine_map of Affine_expr.Map.t
 
+(* Shortest decimal spelling that re-parses to exactly the same bits.
+   Special values use spellings the lexer knows ([nan], [infinity],
+   [-infinity]); finite values always contain '.' or 'e' so they cannot
+   be read back as integer literals. *)
+let float_to_string f =
+  match Float.classify_float f with
+  | FP_nan -> "nan"
+  | FP_infinite -> if f > 0.0 then "infinity" else "-infinity"
+  | _ ->
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    let s =
+      match exact 15 with
+      | Some s -> s
+      | None -> (
+        match exact 16 with Some s -> s | None -> Printf.sprintf "%.17g" f)
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+(* String literal escaping matched to the lexer: only backslash-n,
+   backslash-t, backslash-backslash, backslash-quote and [\xHH] (for
+   every other byte outside printable ASCII). *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when c >= ' ' && c < '\x7f' -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "\\x%02X" (Char.code c)))
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let rec to_string = function
   | Unit -> "unit"
   | Bool b -> string_of_bool b
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%h" f
-  | String s -> Printf.sprintf "%S" s
+  | Float f -> float_to_string f
+  | String s -> escape_string s
   | Type ty -> Types.to_string ty
   | Symbol s -> "@" ^ s
   | Array xs -> "[" ^ String.concat ", " (List.map to_string xs) ^ "]"
@@ -29,13 +70,16 @@ let rec to_string = function
     ^ ">"
   | Dense_float xs ->
     "dense_f<"
-    ^ String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%h") xs))
+    ^ String.concat ", " (Array.to_list (Array.map float_to_string xs))
     ^ ">"
   | Affine_map m -> "affine_map<" ^ Affine_expr.Map.to_string m ^ ">"
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 
-let equal (a : t) (b : t) = a = b
+(* Structural equality via [compare] rather than [=] so [Float nan]
+   equals itself (polymorphic [=] uses IEEE comparison on floats, which
+   would make any nan-carrying attribute unequal to its parsed copy). *)
+let equal (a : t) (b : t) = compare a b = 0
 
 (* Accessors returning [None] on kind mismatch. *)
 let as_int = function Int i -> Some i | Bool b -> Some (Bool.to_int b) | _ -> None

@@ -45,17 +45,19 @@ let insert b op =
   | Some (Before anchor) -> Core.insert_before ~anchor op);
   op
 
-let op ?attrs ?regions ~operands ~result_types b name =
-  insert b (Core.create_op ?attrs ?regions ~operands ~result_types name)
+let op ?attrs ?regions ?successors ~operands ~result_types b name =
+  insert b (Core.create_op ?attrs ?regions ?successors ~operands ~result_types name)
 
 (** Like {!op} for single-result operations; returns the result value. *)
-let op1 ?attrs ?regions ~operands ~result_type b name =
-  let o = op ?attrs ?regions ~operands ~result_types:[ result_type ] b name in
+let op1 ?attrs ?regions ?successors ~operands ~result_type b name =
+  let o =
+    op ?attrs ?regions ?successors ~operands ~result_types:[ result_type ] b name
+  in
   Core.result o 0
 
 (** Like {!op} for zero-result operations; returns unit. *)
-let op0 ?attrs ?regions ~operands b name =
-  ignore (op ?attrs ?regions ~operands ~result_types:[] b name)
+let op0 ?attrs ?regions ?successors ~operands b name =
+  ignore (op ?attrs ?regions ?successors ~operands ~result_types:[] b name)
 
 (** Run [f] with the insertion point temporarily moved to the end of
     [block], restoring it afterwards. *)

@@ -27,6 +27,7 @@ val insert : t -> Core.op -> Core.op
 val op :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
+  ?successors:Core.block list ->
   operands:Core.value list ->
   result_types:Types.t list ->
   t ->
@@ -37,6 +38,7 @@ val op :
 val op1 :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
+  ?successors:Core.block list ->
   operands:Core.value list ->
   result_type:Types.t ->
   t ->
@@ -47,6 +49,7 @@ val op1 :
 val op0 :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
+  ?successors:Core.block list ->
   operands:Core.value list ->
   t ->
   string ->

@@ -24,6 +24,9 @@ and op = {
   mutable results : value array;
   mutable attrs : (string * Attr.t) list;
   regions : region array;
+  (* CFG successor blocks (terminators only), printed as [^bb1, ^bb2].
+     Successors always belong to the region holding the op's block. *)
+  mutable successors : block array;
   mutable parent_block : block option;
 }
 
@@ -75,7 +78,8 @@ let remove_use v op idx =
 
 (** Create a detached operation. Results are fresh values; regions are given
     already-built (detached) regions whose parent is patched here. *)
-let create_op ?(attrs = []) ?(regions = []) ~operands ~result_types name =
+let create_op ?(attrs = []) ?(regions = []) ?(successors = []) ~operands
+    ~result_types name =
   let op =
     {
       oid = next_id ();
@@ -84,6 +88,7 @@ let create_op ?(attrs = []) ?(regions = []) ~operands ~result_types name =
       results = [||];
       attrs;
       regions = Array.of_list regions;
+      successors = Array.of_list successors;
       parent_block = None;
     }
   in
@@ -153,6 +158,23 @@ let has_attr op key = attr op key <> None
 
 let region op i = op.regions.(i)
 let num_regions op = Array.length op.regions
+
+let successor op i = op.successors.(i)
+let successors op = Array.to_list op.successors
+let num_successors op = Array.length op.successors
+let set_successors op bs = op.successors <- Array.of_list bs
+
+(** Is [block] the target of some successor edge within its region? *)
+let is_successor_target (block : block) =
+  match block.parent_region with
+  | None -> false
+  | Some r ->
+    List.exists
+      (fun b ->
+        List.exists
+          (fun o -> Array.exists (fun s -> s == block) o.successors)
+          b.body)
+      r.blocks
 
 (* ------------------------------------------------------------------ *)
 (* Mutation                                                            *)
@@ -360,9 +382,13 @@ let rec enclosing_func op =
 (** Deep-copy [op] and everything nested in it. [value_map] carries the
     mapping from old to new values; operands defined outside the cloned
     subtree map to themselves. *)
-let rec clone_op ?(value_map = Hashtbl.create 16) op =
+let rec clone_op ?(value_map = Hashtbl.create 16) ?(block_map = Hashtbl.create 8)
+    op =
   let map_value v =
     match Hashtbl.find_opt value_map v.vid with Some v' -> v' | None -> v
+  in
+  let map_block b =
+    match Hashtbl.find_opt block_map b.bid with Some b' -> b' | None -> b
   in
   let regions =
     Array.to_list op.regions
@@ -376,13 +402,14 @@ let rec clone_op ?(value_map = Hashtbl.create 16) op =
                  Array.iteri
                    (fun i a -> Hashtbl.replace value_map a.vid nb.bargs.(i))
                    b.bargs;
+                 Hashtbl.replace block_map b.bid nb;
                  (b, nb))
                r.blocks
            in
            List.iter
              (fun (b, nb) ->
                List.iter
-                 (fun o -> append_op nb (clone_op ~value_map o))
+                 (fun o -> append_op nb (clone_op ~value_map ~block_map o))
                  b.body)
              blocks;
            create_region ~blocks:(List.map snd blocks) ())
@@ -393,6 +420,7 @@ let rec clone_op ?(value_map = Hashtbl.create 16) op =
       ~operands:(List.map map_value (operands op))
       ~result_types:(List.map (fun r -> r.vty) (results op))
       ~attrs:op.attrs ~regions
+      ~successors:(List.map map_block (Array.to_list op.successors))
   in
   Array.iteri
     (fun i r -> Hashtbl.replace value_map r.vid cloned.results.(i))

@@ -154,6 +154,29 @@ let pp_changes fmt (cl : change_log) =
     (changes cl)
 
 (* ------------------------------------------------------------------ *)
+(* Verification after every pass (--verify-each)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [verify_after ()] runs {!Verifier.verify} on the module after every
+    pass and hands any diagnostics to [sink] together with the name of
+    the offending pass. The default sink prints to stderr; the fuzzing
+    harness installs its own sink to record which pass broke the IR. *)
+let verify_after
+    ?(sink =
+      fun ~pass_name diags ->
+        List.iter
+          (fun d ->
+            Printf.eprintf "verify after %s: %s\n%!" pass_name
+              (Verifier.diag_to_string d))
+          diags)
+    () =
+  make "verify-after"
+    ~after_pass:(fun ~pass_name m ->
+      match Verifier.verify m with
+      | Ok () -> ()
+      | Error diags -> sink ~pass_name diags)
+
+(* ------------------------------------------------------------------ *)
 (* IR snapshots (--dump-before / --dump-after)                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -70,6 +70,15 @@ val noop_passes : change_log -> string list
 
 val pp_changes : Format.formatter -> change_log -> unit
 
+(** {1 Verification after every pass} *)
+
+(** [verify_after ()] runs {!Verifier.verify} on the module after every
+    pass, handing any diagnostics to [sink] with the offending pass's
+    name (default sink: stderr). Backs [--verify-each] and the fuzzing
+    harness's verifier oracle. *)
+val verify_after :
+  ?sink:(pass_name:string -> Verifier.diag list -> unit) -> unit -> t
+
 (** {1 IR snapshots} *)
 
 (** [dump ~filter ()] prints the module around every pass whose name

@@ -16,7 +16,7 @@ type token =
   | Lbrace | Rbrace
   | Lbracket | Rbracket
   | Langle | Rangle
-  | Comma | Colon | Equal | Arrow | Bang | Star | Plus | Minus
+  | Comma | Colon | Equal | Arrow | Bang | Star | Plus | Minus | Question
   | Eof
 
 let token_to_string = function
@@ -25,14 +25,14 @@ let token_to_string = function
   | Block_ref s -> "^" ^ s
   | Symbol_ref s -> "@" ^ s
   | Int_lit i -> string_of_int i
-  | Float_lit f -> Printf.sprintf "%h" f
-  | String_lit s -> Printf.sprintf "%S" s
+  | Float_lit f -> Attr.float_to_string f
+  | String_lit s -> Attr.escape_string s
   | Lparen -> "(" | Rparen -> ")"
   | Lbrace -> "{" | Rbrace -> "}"
   | Lbracket -> "[" | Rbracket -> "]"
   | Langle -> "<" | Rangle -> ">"
   | Comma -> "," | Colon -> ":" | Equal -> "=" | Arrow -> "->"
-  | Bang -> "!" | Star -> "*" | Plus -> "+" | Minus -> "-"
+  | Bang -> "!" | Star -> "*" | Plus -> "+" | Minus -> "-" | Question -> "?"
   | Eof -> "<eof>"
 
 (* ------------------------------------------------------------------ *)
@@ -82,9 +82,11 @@ let lex_while lx p =
   String.sub lx.src start (lx.pos - start)
 
 let lex_number lx ~neg =
-  (* Decimal integers, decimal floats (1.5, 2e3) and C99 hex floats
-     (0x1.8p+3, as printed by %h). A plain "0x..." hex literal is treated
-     as a float only when it contains '.' or 'p'. *)
+  (* Decimal integers (plus 0x hex integers) and decimal floats (1.5,
+     2e3, 1.25e-7). Floats print in shortest-decimal form — C99 hex
+     float literals (0x1.8p+3, as printed by %h) are rejected with an
+     explicit error so a reintroduced hex printer cannot silently
+     corrupt round-trips. *)
   let buf = Buffer.create 16 in
   if neg then Buffer.add_char buf '-';
   let add () =
@@ -106,17 +108,13 @@ let lex_number lx ~neg =
    then begin
      add ();
      digits is_hex;
-     if peek_char lx = Some '.' then begin
-       is_float := true;
-       add ();
-       digits is_hex
-     end;
-     if peek_char lx = Some 'p' || peek_char lx = Some 'P' then begin
-       is_float := true;
-       add ();
-       if peek_char lx = Some '+' || peek_char lx = Some '-' then add ();
-       digits is_digit
-     end
+     if
+       peek_char lx = Some '.' || peek_char lx = Some 'p'
+       || peek_char lx = Some 'P'
+     then
+       error lx
+         "hex float literals are not supported (floats print in decimal; \
+          use e.g. 3.0 instead of 0x1.8p+1)"
    end
    else begin
      if peek_char lx = Some '.' then begin
@@ -142,8 +140,18 @@ let lex_number lx ~neg =
     | None -> error lx (Printf.sprintf "bad integer literal %S" s)
 
 let lex_string lx =
-  (* Opening quote consumed by caller. *)
+  (* Opening quote consumed by caller. Escapes are exactly the ones the
+     printer emits (backslash-n, backslash-t, backslash-backslash,
+     backslash-quote, [\xHH]); anything else is an error rather than a
+     silently dropped backslash. *)
   let buf = Buffer.create 16 in
+  let hex_value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> error lx (Printf.sprintf "bad hex digit %C in \\x escape" c)
+  in
   let rec go () =
     match peek_char lx with
     | None -> error lx "unterminated string literal"
@@ -151,13 +159,25 @@ let lex_string lx =
     | Some '\\' ->
       lx.pos <- lx.pos + 1;
       (match peek_char lx with
-      | Some 'n' -> Buffer.add_char buf '\n'
-      | Some 't' -> Buffer.add_char buf '\t'
-      | Some '\\' -> Buffer.add_char buf '\\'
-      | Some '"' -> Buffer.add_char buf '"'
-      | Some c -> Buffer.add_char buf c
+      | Some 'n' -> Buffer.add_char buf '\n'; lx.pos <- lx.pos + 1
+      | Some 't' -> Buffer.add_char buf '\t'; lx.pos <- lx.pos + 1
+      | Some '\\' -> Buffer.add_char buf '\\'; lx.pos <- lx.pos + 1
+      | Some '"' -> Buffer.add_char buf '"'; lx.pos <- lx.pos + 1
+      | Some 'x' ->
+        lx.pos <- lx.pos + 1;
+        let hi =
+          match peek_char lx with
+          | Some c -> lx.pos <- lx.pos + 1; hex_value c
+          | None -> error lx "unterminated \\x escape"
+        in
+        let lo =
+          match peek_char lx with
+          | Some c -> lx.pos <- lx.pos + 1; hex_value c
+          | None -> error lx "unterminated \\x escape"
+        in
+        Buffer.add_char buf (Char.chr ((hi * 16) + lo))
+      | Some c -> error lx (Printf.sprintf "unknown string escape \\%c" c)
       | None -> error lx "unterminated escape");
-      lx.pos <- lx.pos + 1;
       go ()
     | Some c ->
       Buffer.add_char buf c;
@@ -187,6 +207,7 @@ let next_token lx =
     | '!' -> lx.pos <- lx.pos + 1; Bang
     | '*' -> lx.pos <- lx.pos + 1; Star
     | '+' -> lx.pos <- lx.pos + 1; Plus
+    | '?' -> lx.pos <- lx.pos + 1; Question
     | '"' -> lx.pos <- lx.pos + 1; lex_string lx
     | '%' ->
       lx.pos <- lx.pos + 1;
@@ -214,10 +235,20 @@ let next_token lx =
 (* Parser state                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-region block-label scope. Successor lists may reference a block
+   before its header is seen, so labels resolve to placeholder blocks
+   that the header later fills in. *)
+type block_scope = {
+  sc_blocks : (string, Core.block) Hashtbl.t;
+  mutable sc_defined : string list;    (* labels with a header, reversed *)
+  mutable sc_referenced : string list; (* labels used as successors *)
+}
+
 type t = {
   lx : lexer;
   mutable tok : token;
   values : (string, Core.value) Hashtbl.t;
+  mutable scopes : block_scope list; (* innermost region first *)
 }
 
 let advance p = p.tok <- next_token p.lx
@@ -243,11 +274,6 @@ let register_type_parser key f = Hashtbl.replace dialect_type_parsers key f
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
 (* ------------------------------------------------------------------ *)
-
-(* The printer writes dynamic memref dims as '?'; [preprocess] rewrites
-   them to this sentinel value before lexing (shape dims never legitimately
-   use it). *)
-let dyn_sentinel = 9999999
 
 let rec parse_type p : Types.t =
   match p.tok with
@@ -288,23 +314,28 @@ let rec parse_type p : Types.t =
 
 (* Everything after "memref<": zero or more "<dim> x " prefixes followed by
    the element type and an optional ", <space>". Dynamic dims are printed
-   as '?', rewritten to a sentinel integer by [preprocess]. *)
+   and lexed as '?'. *)
 and parse_memref_body p =
   let dims = ref [] in
-  let rec read_shape () =
+  let read_dim () =
     match p.tok with
-    | Int_lit n -> (
-      advance p;
+    | Int_lit n -> advance p; Some (Some n)
+    | Question -> advance p; Some None
+    | _ -> None
+  in
+  let rec read_shape () =
+    match read_dim () with
+    | None -> ()
+    | Some d -> (
       match p.tok with
       | Ident "x" ->
         advance p;
-        dims := (if n = dyn_sentinel then None else Some n) :: !dims;
+        dims := d :: !dims;
         read_shape ()
       | t ->
         error p.lx
           (Printf.sprintf "expected 'x' after memref dimension, found %s"
              (token_to_string t)))
-    | _ -> ()
   in
   read_shape ();
   let element = parse_type p in
@@ -341,7 +372,16 @@ let rec parse_attr p : Attr.t =
   | Ident "false" -> advance p; Attr.Bool false
   | Ident "unit" -> advance p; Attr.Unit
   | Ident "nan" -> advance p; Attr.Float Float.nan
-  | Ident "infinity" -> advance p; Attr.Float Float.infinity
+  | Ident ("infinity" | "inf") -> advance p; Attr.Float Float.infinity
+  | Minus -> (
+    advance p;
+    match p.tok with
+    | Ident ("infinity" | "inf") -> advance p; Attr.Float Float.neg_infinity
+    | Ident "nan" -> advance p; Attr.Float (Float.neg Float.nan)
+    | t ->
+      error p.lx
+        (Printf.sprintf "expected nan/infinity after '-', found %s"
+           (token_to_string t)))
   | Lbracket ->
     advance p;
     let rec elems () =
@@ -369,16 +409,27 @@ let rec parse_attr p : Attr.t =
   | Ident "dense_f" ->
     advance p;
     expect p Langle;
-    let rec floats () =
+    let element () =
       match p.tok with
-      | Float_lit f ->
+      | Float_lit f -> advance p; Some f
+      | Int_lit i -> advance p; Some (float_of_int i)
+      | Ident "nan" -> advance p; Some Float.nan
+      | Ident ("infinity" | "inf") -> advance p; Some Float.infinity
+      | Minus -> (
         advance p;
-        if accept p Comma then f :: floats () else [ f ]
-      | Int_lit i ->
-        advance p;
-        let f = float_of_int i in
-        if accept p Comma then f :: floats () else [ f ]
-      | _ -> []
+        match p.tok with
+        | Ident ("infinity" | "inf") -> advance p; Some Float.neg_infinity
+        | Ident "nan" -> advance p; Some (Float.neg Float.nan)
+        | t ->
+          error p.lx
+            (Printf.sprintf "expected nan/infinity after '-', found %s"
+               (token_to_string t)))
+      | _ -> None
+    in
+    let rec floats () =
+      match element () with
+      | Some f -> if accept p Comma then f :: floats () else [ f ]
+      | None -> []
     in
     let xs = floats () in
     expect p Rangle;
@@ -492,6 +543,22 @@ let lookup_value p name =
   | Some v -> v
   | None -> error p.lx (Printf.sprintf "use of undefined value %%%s" name)
 
+(* Resolve a ^label used as a successor in the innermost region, creating
+   a placeholder block on forward references. *)
+let successor_block p name =
+  match p.scopes with
+  | [] ->
+    error p.lx
+      (Printf.sprintf "successor ^%s used outside of any region" name)
+  | scope :: _ -> (
+    match Hashtbl.find_opt scope.sc_blocks name with
+    | Some b -> b
+    | None ->
+      let b = Core.create_block () in
+      Hashtbl.replace scope.sc_blocks name b;
+      scope.sc_referenced <- name :: scope.sc_referenced;
+      b)
+
 let rec parse_op p : Core.op =
   (* results *)
   let result_names =
@@ -521,6 +588,26 @@ let rec parse_op p : Core.op =
   let op_names = operand_names () in
   expect p Rparen;
   let operands = List.map (lookup_value p) op_names in
+  (* successors: [^bb1, ^bb2] *)
+  let successors =
+    if accept p Lbracket then begin
+      let rec labels () =
+        match p.tok with
+        | Block_ref n ->
+          advance p;
+          let b = successor_block p n in
+          if accept p Comma then b :: labels () else [ b ]
+        | t ->
+          error p.lx
+            (Printf.sprintf "expected block label in successor list, found %s"
+               (token_to_string t))
+      in
+      let bs = labels () in
+      expect p Rbracket;
+      bs
+    end
+    else []
+  in
   (* regions *)
   let regions =
     if p.tok = Lparen then begin
@@ -571,7 +658,7 @@ let rec parse_op p : Core.op =
     error p.lx
       (Printf.sprintf "op %s: %d result names but %d result types" name
          (List.length result_names) (List.length result_types));
-  let op = Core.create_op name ~operands ~result_types ~attrs ~regions in
+  let op = Core.create_op name ~operands ~result_types ~attrs ~regions ~successors in
   List.iteri
     (fun i n -> Hashtbl.replace p.values n (Core.result op i))
     result_names;
@@ -579,11 +666,15 @@ let rec parse_op p : Core.op =
 
 and parse_region p : Core.region =
   expect p Lbrace;
+  let scope =
+    { sc_blocks = Hashtbl.create 8; sc_defined = []; sc_referenced = [] }
+  in
+  p.scopes <- scope :: p.scopes;
   (* Optional block headers; a region with no header is a single block with
      no arguments. *)
   let parse_block_header () =
     match p.tok with
-    | Block_ref _ ->
+    | Block_ref name ->
       advance p;
       expect p Lparen;
       let rec args () =
@@ -598,7 +689,7 @@ and parse_region p : Core.region =
       let args = args () in
       expect p Rparen;
       expect p Colon;
-      Some args
+      Some (name, args)
     | _ -> None
   in
   let parse_block_body () =
@@ -619,10 +710,24 @@ and parse_region p : Core.region =
       let header = parse_block_header () in
       let block =
         match header with
-        | Some args ->
-          let b = Core.create_block ~args:(List.map snd args) () in
-          List.iteri
-            (fun i (n, _) -> Hashtbl.replace p.values n (Core.block_arg b i))
+        | Some (name, args) ->
+          if List.mem name scope.sc_defined then
+            error p.lx (Printf.sprintf "duplicate block label ^%s" name);
+          scope.sc_defined <- name :: scope.sc_defined;
+          (* A forward successor reference may already have created a
+             placeholder for this label; attach the arguments to it. *)
+          let b =
+            match Hashtbl.find_opt scope.sc_blocks name with
+            | Some b -> b
+            | None ->
+              let b = Core.create_block () in
+              Hashtbl.replace scope.sc_blocks name b;
+              b
+          in
+          List.iter
+            (fun (n, ty) ->
+              let v = Core.add_block_arg b ty in
+              Hashtbl.replace p.values n v)
             args;
           b
         | None ->
@@ -636,6 +741,13 @@ and parse_region p : Core.region =
   in
   go true;
   expect p Rbrace;
+  List.iter
+    (fun n ->
+      if not (List.mem n scope.sc_defined) then
+        error p.lx
+          (Printf.sprintf "successor ^%s is never defined in this region" n))
+    scope.sc_referenced;
+  p.scopes <- List.tl p.scopes;
   let blocks = match List.rev !blocks with [] -> [ Core.create_block () ] | bs -> bs in
   Core.create_region ~blocks ()
 
@@ -643,12 +755,9 @@ and parse_region p : Core.region =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let preprocess src =
-  String.concat (string_of_int dyn_sentinel) (String.split_on_char '?' src)
-
 let make_parser src =
-  let lx = { src = preprocess src; pos = 0; line = 1 } in
-  let p = { lx; tok = Eof; values = Hashtbl.create 64 } in
+  let lx = { src; pos = 0; line = 1 } in
+  let p = { lx; tok = Eof; values = Hashtbl.create 64; scopes = [] } in
   advance p;
   p
 

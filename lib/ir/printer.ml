@@ -12,6 +12,8 @@
 type env = {
   buf : Buffer.t;
   names : (int, string) Hashtbl.t;
+  (* Per-region block labels (^bb0, ^bb1, ...), keyed by block id. *)
+  block_names : (int, string) Hashtbl.t;
   mutable counter : int;
 }
 
@@ -23,6 +25,11 @@ let value_name env (v : Core.value) =
     env.counter <- env.counter + 1;
     Hashtbl.replace env.names v.vid n;
     n
+
+let block_name env (b : Core.block) =
+  match Hashtbl.find_opt env.block_names b.Core.bid with
+  | Some n -> n
+  | None -> Printf.sprintf "^orphan%d" b.Core.bid
 
 let indent env level = Buffer.add_string env.buf (String.make (2 * level) ' ')
 
@@ -40,6 +47,13 @@ let rec print_op env level (op : Core.op) =
   Buffer.add_string env.buf
     (String.concat ", " (List.map (value_name env) (Core.operands op)));
   Buffer.add_char env.buf ')';
+  (* Successors *)
+  if Core.num_successors op > 0 then begin
+    Buffer.add_string env.buf "[";
+    Buffer.add_string env.buf
+      (String.concat ", " (List.map (block_name env) (Core.successors op)));
+    Buffer.add_char env.buf ']'
+  end;
   (* Regions *)
   if Core.num_regions op > 0 then begin
     Buffer.add_string env.buf " (";
@@ -74,11 +88,24 @@ let rec print_op env level (op : Core.op) =
 
 and print_region env level (r : Core.region) =
   Buffer.add_string env.buf "{\n";
+  (* Assign per-region labels up front: successor references may point
+     forward to blocks whose header has not been printed yet. *)
   List.iteri
     (fun i b ->
-      (* Print the block header when the block has arguments or when the
-         region has several blocks (so the parser can reconstruct them). *)
-      if Array.length b.Core.bargs > 0 || List.length r.Core.blocks > 1 then begin
+      Hashtbl.replace env.block_names b.Core.bid (Printf.sprintf "^bb%d" i))
+    r.Core.blocks;
+  List.iteri
+    (fun i b ->
+      (* Print the block header when the block has arguments, when the
+         region has several blocks, or when some branch names the block
+         as a successor — an argument-less successor target in a
+         single-block region would otherwise lose its label and the
+         branch could not re-parse. *)
+      if
+        Array.length b.Core.bargs > 0
+        || List.length r.Core.blocks > 1
+        || Core.is_successor_target b
+      then begin
         indent env level;
         Buffer.add_string env.buf (Printf.sprintf "^bb%d(" i);
         Buffer.add_string env.buf
@@ -102,7 +129,9 @@ let op_to_string ?(env = None) op =
   let env =
     match env with
     | Some e -> e
-    | None -> { buf = Buffer.create 1024; names = Hashtbl.create 64; counter = 0 }
+    | None ->
+      { buf = Buffer.create 1024; names = Hashtbl.create 64;
+        block_names = Hashtbl.create 16; counter = 0 }
   in
   Buffer.clear env.buf;
   print_op env 0 op;
@@ -118,7 +147,10 @@ let pp fmt op = Format.pp_print_string fmt (to_string op)
 
 (** Short one-line description of an op, for diagnostics. *)
 let summary (op : Core.op) =
-  let env = { buf = Buffer.create 64; names = Hashtbl.create 8; counter = 0 } in
+  let env =
+    { buf = Buffer.create 64; names = Hashtbl.create 8;
+      block_names = Hashtbl.create 4; counter = 0 }
+  in
   Buffer.add_string env.buf op.name;
   Buffer.add_char env.buf '(';
   Buffer.add_string env.buf

@@ -56,6 +56,32 @@ let verify ?(allow_unregistered = true) (top : Core.op) =
             )
             r.Core.blocks)
         op.Core.regions);
+    (* Successor sanity: only terminators may carry successors, and every
+       successor must be a block of the region enclosing this op. *)
+    if Core.num_successors op > 0 then begin
+      if not (Op_registry.is_terminator op) then
+        fail ~op "only terminators may have block successors";
+      let enclosing_blocks =
+        match op.Core.parent_block with
+        | Some b -> (
+          match b.Core.parent_region with
+          | Some r -> r.Core.blocks
+          | None -> [])
+        | None -> []
+      in
+      Array.iteri
+        (fun i _ ->
+          let s = Core.successor op i in
+          if not (List.exists (fun b -> b == s) enclosing_blocks) then
+            fail ~op "successor %d is not a block of the enclosing region" i)
+        op.Core.successors;
+      (match op.Core.parent_block with
+      | Some b -> (
+        match List.rev b.Core.body with
+        | last :: _ when last == op -> ()
+        | _ -> fail ~op "terminator with successors must end its block")
+      | None -> ())
+    end;
     (* Use-list sanity: every operand's use list mentions this op. *)
     Array.iteri
       (fun i v ->

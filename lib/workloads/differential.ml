@@ -1,0 +1,119 @@
+(* Oracle (c) of the differential harness: simulator differential.
+
+   A workload compiled with the full SYCL-MLIR pipeline must compute the
+   same buffers as the same workload with no device optimization at all
+   (host raising only — the minimum for the runtime to execute the
+   module). Outputs are compared against the workload's own ground-truth
+   validator and pairwise between the two runs, with the suite's
+   tolerance (reduction rewrites reassociate floating-point sums, so
+   bit-exact equality is not the contract). On divergence, a greedy
+   pass bisection re-runs growing pipeline prefixes on fresh modules and
+   names the first pass whose output diverges. *)
+
+open Mlir
+
+type divergence = {
+  d_workload : string;
+  d_detail : string;
+  d_first_bad_pass : string option;  (** named by the bisection shrinker *)
+}
+
+let divergence_to_string d =
+  Printf.sprintf "[differential] %s: %s%s" d.d_workload d.d_detail
+    (match d.d_first_bad_pass with
+    | Some p -> Printf.sprintf " (first divergent pass: %s)" p
+    | None -> "")
+
+(* The pipeline under test, flattened the way Driver.compile runs it. *)
+let full_pipeline () =
+  let cfg = Common.Driver.config Common.Driver.Sycl_mlir in
+  Common.Driver.host_pipeline cfg @ Common.Driver.device_pipeline cfg
+
+(* Host raising alone: the unoptimized reference. It is the first pass of
+   every host pipeline and mandatory for Host_interp to run the module. *)
+let reference_pipeline () =
+  match full_pipeline () with
+  | raising :: _ -> [ raising ]
+  | [] -> []
+
+(** Run [w] compiled with [passes]; returns the per-argument buffer
+    snapshots (floats; None for scalar args) and the ground-truth
+    verdict. *)
+let run_with (w : Common.workload) (passes : Pass.t list) =
+  let m = w.Common.w_module () in
+  ignore (Pass.run_pipeline ~verify_each:false passes m);
+  let args, validate = w.Common.w_data () in
+  ignore (Common.Host_interp.run ~module_op:m args);
+  let snapshot (hv : Common.Host_interp.hv) =
+    match hv with
+    | Common.Host_interp.Scalar (Common.Interp.Mem view) ->
+      Some
+        (Array.map Common.Memory.cell_to_float
+           view.Common.Memory.base.Common.Memory.data)
+    | _ -> None
+  in
+  (List.map snapshot args, validate ())
+
+let buffers_agree ?(tol = 1e-3) a b =
+  match (a, b) with
+  | Some a, Some b ->
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> Common.approx_eq ~tol x y) a b
+  | None, None -> true
+  | _ -> false
+
+(** Check one workload: reference (raising only) vs. full SYCL-MLIR
+    pipeline, both against ground truth and against each other. *)
+let check ?(tol = 1e-3) (w : Common.workload) : (unit, divergence) result =
+  let fail detail =
+    let first_bad_pass =
+      Difftest.bisect_passes ~passes:(full_pipeline ()) ~base:1
+        ~fresh:(fun () -> w.Common.w_module ())
+        ~check:(fun m ->
+          let args, validate = w.Common.w_data () in
+          match Common.Host_interp.run ~module_op:m args with
+          | _ -> validate ()
+          | exception _ -> false)
+        ()
+    in
+    Error
+      { d_workload = w.Common.w_name; d_detail = detail;
+        d_first_bad_pass = first_bad_pass }
+  in
+  match
+    ( run_with w (reference_pipeline ()),
+      run_with w (full_pipeline ()) )
+  with
+  | exception e ->
+    fail (Printf.sprintf "execution raised %s" (Printexc.to_string e))
+  | (ref_bufs, ref_ok), (opt_bufs, opt_ok) ->
+    if not ref_ok then
+      Error
+        { d_workload = w.Common.w_name;
+          d_detail = "unoptimized reference fails its own ground truth";
+          d_first_bad_pass = None }
+    else if not opt_ok then fail "optimized run fails ground truth"
+    else if not (List.for_all2 (buffers_agree ~tol) ref_bufs opt_bufs) then
+      fail "optimized and unoptimized buffers diverge"
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Randomized workload selection for the fuzz loop                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A workload with an ND-range size randomized from [rng] — problem
+    sizes are arbitrary (not powers of two); the launch policy picks a
+    dividing work-group size. *)
+let random_workload (rng : Random.State.t) : Common.workload =
+  let n = 6 + Random.State.int rng 27 in
+  let builders =
+    [ (fun () -> Polybench.gemm ~n);
+      (fun () -> Polybench.atax ~n);
+      (fun () -> Polybench.bicg ~n);
+      (fun () -> Polybench.mvt ~n);
+      (fun () -> Polybench.gesummv ~n);
+      (fun () -> Single_kernel.vec_add ~n:(n * n));
+      (fun () -> Single_kernel.sobel5 ~n);
+      (fun () -> Stencil.jacobi ~n ~iters:2) ]
+  in
+  (List.nth builders (Random.State.int rng (List.length builders))) ()

@@ -97,10 +97,18 @@ let tests_list =
         Helpers.init ();
         let op =
           Parser.parse_string
-            "%0 = arith.constant() {value = -0x1.8p+1} : () -> (f32)"
+            "%0 = arith.constant() {value = -3.0} : () -> (f32)"
         in
         Alcotest.(check bool) "is -3.0" true
-          (Core.attr op "value" = Some (Attr.Float (-3.0))));
+          (Core.attr op "value" = Some (Attr.Float (-3.0)));
+        (* Hex float literals (the old %h printing) must now be rejected
+           rather than silently mis-lexed. *)
+        match
+          Parser.parse_string
+            "%0 = arith.constant() {value = -0x1.8p+1} : () -> (f32)"
+        with
+        | _ -> Alcotest.fail "hex float literal was accepted"
+        | exception Parser.Parse_error _ -> ());
     Alcotest.test_case "interpreter rejects unknown ops with a clear error" `Quick
       (fun () ->
         let m = Helpers.fresh_module () in
