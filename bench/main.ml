@@ -13,6 +13,12 @@
                                            of a simulated GEMM run
      dune exec bench/main.exe -- fuzz [--seed N] [--iters N] [--json PATH]
                                          — differential fuzzing harness
+     dune exec bench/main.exe -- report [--label L] [--out PATH]
+                                         — schema-versioned metrics snapshot
+                                           (BENCH_<label>.json)
+     dune exec bench/main.exe -- compare OLD.json NEW.json [--tolerance F]
+                                         — exit 1 on cycle/validity
+                                           regressions or missing workloads
 
    Absolute paper numbers came from an Intel Data Center GPU Max 1100;
    ours come from the transaction-level simulator — only the shape of the
@@ -238,20 +244,6 @@ let run_fusion () =
 (* Differential fuzzing (see DESIGN.md, "Testing & fuzzing")            *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when c < ' ' -> Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 (** [fuzz] — the differential-testing harness over the random IR
     generator and the workload suite. Three oracles per DESIGN.md:
     (a) print→parse→print fixpoint on every generated module,
@@ -318,18 +310,125 @@ let run_fuzz () =
   (match !json_path with
   | None -> ()
   | Some path ->
+    let doc =
+      Mlir.Json.Obj
+        [
+          ("seed", Mlir.Json.Int !seed);
+          ("iters", Mlir.Json.Int !iters);
+          ("roundtrip_checks", Mlir.Json.Int !roundtrip_runs);
+          ("differential_rounds", Mlir.Json.Int !diff_runs);
+          ( "failures",
+            Mlir.Json.List
+              (List.map
+                 (fun (i, oracle, detail) ->
+                   Mlir.Json.Obj
+                     [
+                       ("iter", Mlir.Json.Int i);
+                       ("oracle", Mlir.Json.String oracle);
+                       ("detail", Mlir.Json.String detail);
+                     ])
+                 failures) );
+        ]
+    in
     Out_channel.with_open_text path (fun oc ->
-        Printf.fprintf oc
-          "{\n  \"seed\": %d,\n  \"iters\": %d,\n  \"roundtrip_checks\": %d,\n  \"differential_rounds\": %d,\n  \"failures\": ["
-          !seed !iters !roundtrip_runs !diff_runs;
-        List.iteri
-          (fun k (i, oracle, detail) ->
-            Printf.fprintf oc "%s\n    {\"iter\": %d, \"oracle\": \"%s\", \"detail\": \"%s\"}"
-              (if k > 0 then "," else "") i (json_escape oracle) (json_escape detail))
-          failures;
-        Printf.fprintf oc "\n  ]\n}\n");
+        output_string oc (Mlir.Json.to_string doc);
+        output_string oc "\n");
     Printf.printf "fuzz: report written to %s\n" path);
   if failures <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark-regression pipeline (see Bench_report)                    *)
+(* ------------------------------------------------------------------ *)
+
+let subcommand_args () =
+  Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+
+(** [report] — measure the full suite and write BENCH_<label>.json. *)
+let run_report () =
+  let label = ref "current" and out = ref None in
+  let rec parse_args = function
+    | "--label" :: v :: rest -> label := v; parse_args rest
+    | "--out" :: v :: rest -> out := Some v; parse_args rest
+    | [] -> ()
+    | other :: _ ->
+      Printf.eprintf "report: unknown argument %s\n" other;
+      exit 2
+  in
+  parse_args (subcommand_args ());
+  let path =
+    match !out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" !label
+  in
+  let r = Bench_report.collect ~label:!label (Suite.all ()) in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Bench_report.to_json r));
+  let invalid =
+    List.concat_map
+      (fun (e : Bench_report.entry) ->
+        List.filter_map
+          (fun (cfg, (m : Bench_report.config_metrics)) ->
+            if m.Bench_report.cm_valid then None
+            else Some (e.Bench_report.e_name ^ " [" ^ cfg ^ "]"))
+          e.Bench_report.e_configs)
+      r.Bench_report.r_entries
+  in
+  Printf.printf "report: %d workloads written to %s\n"
+    (List.length r.Bench_report.r_entries)
+    path;
+  List.iter (fun s -> Printf.printf "  !! failed validation: %s\n" s) invalid
+
+(** [compare OLD NEW] — regression gate; exits 1 when NEW regresses. *)
+let run_compare () =
+  let tolerance = ref 0.05 and files = ref [] in
+  let rec parse_args = function
+    | "--tolerance" :: v :: rest -> (
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tolerance := f
+      | _ ->
+        Printf.eprintf "compare: bad --tolerance %s\n" v;
+        exit 2);
+      parse_args rest)
+    | f :: rest -> files := f :: !files; parse_args rest
+    | [] -> ()
+  in
+  parse_args (subcommand_args ());
+  let old_path, new_path =
+    match List.rev !files with
+    | [ a; b ] -> (a, b)
+    | _ ->
+      Printf.eprintf "usage: compare OLD.json NEW.json [--tolerance F]\n";
+      exit 2
+  in
+  let load path =
+    match
+      Bench_report.of_json (In_channel.with_open_text path In_channel.input_all)
+    with
+    | r -> r
+    | exception Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+      exit 2
+    | exception Bench_report.Report_error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  let baseline = load old_path and current = load new_path in
+  let issues =
+    Bench_report.compare_reports ~tolerance:!tolerance ~baseline current
+  in
+  Printf.printf
+    "compare: %s (%d workloads) vs %s (%d workloads), tolerance %.1f%%\n"
+    baseline.Bench_report.r_label
+    (List.length baseline.Bench_report.r_entries)
+    current.Bench_report.r_label
+    (List.length current.Bench_report.r_entries)
+    (100.0 *. !tolerance);
+  if issues = [] then Printf.printf "compare: no regressions\n"
+  else begin
+    List.iter
+      (fun i -> Printf.printf "  REGRESSION %s\n" (Bench_report.issue_to_string i))
+      issues;
+    Printf.printf "compare: %d issue(s)\n" (List.length issues);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Observability: compile-time timing tree + simulator trace for GEMM   *)
@@ -370,6 +469,8 @@ let () =
   | "fusion" -> run_fusion ()
   | "profile" -> run_profile ()
   | "fuzz" -> run_fuzz ()
+  | "report" -> run_report ()
+  | "compare" -> run_compare ()
   | "all" ->
     run_fig2 ();
     run_fig3 ();
@@ -379,7 +480,7 @@ let () =
     run_fusion ();
     run_passes ()
   | other ->
-    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|fuzz|all)\n"
+    Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|fuzz|report|compare|all)\n"
       other;
     exit 1);
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -9,6 +9,12 @@
      --remarks[=REGEX]   optimization remarks (-Rpass style), filtered
                          by pass name
      --remarks-json=F    every remark, as a JSON document
+     --stats             merged pass-statistics report (-stats style)
+     --stats-json=F      per-pass statistics and wall time, as JSON
+     --print-analysis=L  run analysis printers (alias, uniformity,
+                         reaching-defs, memory-access) after the pipeline:
+                         annotates the IR with sycl.* attributes and
+                         reports to stderr
      --dump-after=P      print the IR after pass P ("all" for every pass)
      --dump-before=P     likewise, before *)
 
@@ -62,8 +68,8 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
-let run passes verify stats timing remarks remarks_json dump_before dump_after
-    input =
+let run passes verify stats stats_json timing remarks remarks_json
+    print_analysis dump_before dump_after input =
   Dialects.Register.init ();
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
@@ -88,7 +94,18 @@ let run passes verify stats timing remarks remarks_json dump_before dump_after
     Printf.eprintf "parse error: %s\n" msg;
     exit 1
   | m -> (
-    let pipeline = resolve_pipeline passes in
+    let printers =
+      List.map
+        (fun name ->
+          match Sycl_core.Analysis_printer.by_name name with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "unknown analysis %s; known: %s\n" name
+              (String.concat ", " Sycl_core.Analysis_printer.known);
+            exit 2)
+        print_analysis
+    in
+    let pipeline = resolve_pipeline passes @ printers in
     (* Remarks stream to stderr as they are emitted (filtered like
        -Rpass=REGEX, matched against the pass name); the JSON document
        always carries every remark. *)
@@ -140,7 +157,36 @@ let run passes verify stats timing remarks remarks_json dump_before dump_after
       if stats then begin
         Printf.eprintf "// pass statistics:\n";
         Format.eprintf "%a@?" Mlir.Pass.Stats.pp (Mlir.Pass.merged_stats result)
-      end
+      end;
+      (match stats_json with
+      | Some path -> (
+        let stats_obj st =
+          Mlir.Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Mlir.Json.Int v))
+               (Mlir.Pass.Stats.to_list st))
+        in
+        let doc =
+          Mlir.Json.Obj
+            [ ( "passes",
+                Mlir.Json.List
+                  (List.map2
+                     (fun (name, st) (_, seconds) ->
+                       Mlir.Json.Obj
+                         [ ("pass", Mlir.Json.String name);
+                           ("seconds", Mlir.Json.Float seconds);
+                           ("stats", stats_obj st) ])
+                     result.Mlir.Pass.per_pass_stats
+                     result.Mlir.Pass.per_pass_time) );
+              ("merged", stats_obj (Mlir.Pass.merged_stats result)) ]
+        in
+        try
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Mlir.Json.to_string doc ^ "\n"))
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot write stats JSON: %s\n" msg;
+          exit 1)
+      | None -> ())
     | exception Mlir.Pass.Pass_failed { pass; diagnostics } ->
       Printf.eprintf "pass %s failed verification:\n" pass;
       List.iter
@@ -157,6 +203,19 @@ let verify_arg =
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print pass statistics to stderr.")
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write per-pass statistics and wall time to $(docv) as JSON.")
+
+let print_analysis_arg =
+  let doc =
+    "Comma-separated analyses to run after the pipeline. Each annotates \
+     the IR with discardable sycl.* attributes and prints a report to \
+     stderr. Known: alias, uniformity, reaching-defs, memory-access."
+  in
+  Arg.(value & opt (list string) [] & info [ "print-analysis" ] ~docv:"LIST" ~doc)
 
 let timing_arg =
   Arg.(value & flag
@@ -196,8 +255,8 @@ let cmd =
   let doc = "run SYCL-MLIR passes over textual IR" in
   Cmd.v
     (Cmd.info "sycl-mlir-opt" ~doc)
-    Term.(const run $ passes_arg $ verify_arg $ stats_arg $ timing_arg
-          $ remarks_arg $ remarks_json_arg $ dump_before_arg $ dump_after_arg
-          $ input_arg)
+    Term.(const run $ passes_arg $ verify_arg $ stats_arg $ stats_json_arg
+          $ timing_arg $ remarks_arg $ remarks_json_arg $ print_analysis_arg
+          $ dump_before_arg $ dump_after_arg $ input_arg)
 
 let () = exit (Cmd.eval cmd)

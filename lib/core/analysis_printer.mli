@@ -1,0 +1,47 @@
+(** Analysis introspection (printer passes).
+
+    Each pass runs one of the paper's Section V analyses and records the
+    results in the IR as discardable [sycl.*] attributes plus a textual
+    report on the configured sink (stderr by default). The attributes use
+    only constructs the printer/parser round-trip, so annotated modules
+    re-parse and re-verify. *)
+
+open Mlir
+
+(** Redirect the textual report (default: stderr). *)
+val set_sink : (string -> unit) -> unit
+
+(** {2 Annotation attribute names} *)
+
+val alias_group_attr : string
+val arg_alias_groups_attr : string
+val uniform_attr : string
+val arg_uniform_attr : string
+val divergent_attr : string
+val def_id_attr : string
+val reaching_mods_attr : string
+val reaching_pmods_attr : string
+val access_matrix_attr : string
+val access_offsets_attr : string
+val coalescing_attr : string
+val temporal_reuse_attr : string
+
+(** Every attribute the printers may add. *)
+val annotation_attrs : string list
+
+(** {2 The printer passes} *)
+
+val print_alias : Pass.t
+val print_uniformity : Pass.t
+val print_reaching_defs : Pass.t
+val print_memory_access : Pass.t
+
+(** Look up a printer by its user-facing name ("alias", "uniformity",
+    "reaching-defs", "memory-access"). *)
+val by_name : string -> Pass.t option
+
+(** The user-facing analysis names accepted by {!by_name}. *)
+val known : string list
+
+(** Remove every annotation attribute from the module. *)
+val strip_annotations : Core.op -> unit

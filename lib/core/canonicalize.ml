@@ -170,5 +170,20 @@ let patterns =
 
 let pass =
   Pass.make "canonicalize" (fun m stats ->
-      let n = Rewrite.apply_greedily m patterns in
+      (* Per-kind counters ("canonicalize.fold", "canonicalize.dce",
+         "canonicalize.pattern.<name>") plus the historical total. *)
+      let on_rewrite ~func kind op =
+        (match kind with
+        | "fold" -> Pass.Stats.bump stats "canonicalize.fold"
+        | "dce" -> Pass.Stats.bump stats "canonicalize.dce"
+        | name -> Pass.Stats.bump stats ("canonicalize.pattern." ^ name));
+        if Remarks.enabled () then
+          Remarks.emit ~pass:"canonicalize" ~name:kind Remarks.Passed ~func
+            (Printf.sprintf "%s rewritten by %s" op.Core.name
+               (match kind with
+               | "fold" -> "constant folding"
+               | "dce" -> "dead pure-op elimination"
+               | name -> "pattern " ^ name))
+      in
+      let n = Rewrite.apply_greedily ~on_rewrite m patterns in
       Pass.Stats.bump ~by:n stats "rewrites")

@@ -27,12 +27,20 @@ let run_on_func (f : Core.op) stats =
             let k = key op in
             match Hashtbl.find_opt scope k with
             | Some existing ->
+              if Remarks.enabled () then
+                Remarks.emit ~pass:"cse" ~name:"eliminated" Remarks.Passed ~op
+                  (Printf.sprintf
+                     "duplicate %s eliminated in favor of an earlier \
+                      identical computation"
+                     op.Core.name);
               List.iteri
                 (fun i r -> Core.replace_all_uses_with r (Core.result existing i))
                 (Core.results op);
               Core.erase_op op;
               Pass.Stats.bump stats "cse.eliminated"
-            | None -> Hashtbl.replace scope k op
+            | None ->
+              Hashtbl.replace scope k op;
+              Pass.Stats.bump stats "cse.candidates"
           end
           else
             (* Recurse into regions with a copied scope (nested blocks see

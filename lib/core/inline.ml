@@ -59,6 +59,8 @@ let inline_call (callee : Core.op) (call : Core.op) =
 let max_rounds = 8
 
 let run (m : Core.op) stats =
+  (* Not-inlinable call sites are reported once, not once per round. *)
+  let reported = Hashtbl.create 8 in
   (* Iterate so chains of helpers flatten (bounded; recursion excluded). *)
   let round () =
     let changed = ref false in
@@ -71,9 +73,26 @@ let run (m : Core.op) stats =
               if call.Core.parent_block <> None then
                 match Option.bind (Dialects.Func.callee call) (Core.lookup_func m) with
                 | Some callee when (not (callee == f)) && inlinable callee ->
+                  if Remarks.enabled () then
+                    Remarks.emit ~pass:"inline" ~name:"inlined" Remarks.Passed
+                      ~op:call
+                      (Printf.sprintf "call to @%s inlined into @%s"
+                         (Core.func_sym callee) (Core.func_sym f));
                   inline_call callee call;
                   Pass.Stats.bump stats "inline.inlined";
                   changed := true
+                | Some callee
+                  when (not (callee == f))
+                       && not (Hashtbl.mem reported call.Core.oid) ->
+                  Hashtbl.replace reported call.Core.oid ();
+                  Pass.Stats.bump stats "inline.not-inlinable";
+                  if Remarks.enabled () then
+                    Remarks.emit ~pass:"inline" ~name:"not-inlinable"
+                      Remarks.Missed ~op:call
+                      (Printf.sprintf
+                         "call to @%s not inlined: callee is a declaration, \
+                          multi-block, or recursive"
+                         (Core.func_sym callee))
                 | _ -> ())
             calls
         end)
@@ -101,6 +120,10 @@ let run (m : Core.op) stats =
         && (not (Dialects.Func.is_declaration f))
         && not (Hashtbl.mem called name)
       then begin
+        if Remarks.enabled () then
+          Remarks.emit ~pass:"inline" ~name:"dead-function-removed"
+            Remarks.Passed ~func:name
+            "uncalled private helper removed after inlining";
         Core.walk f ~f:(fun o -> if not (o == f) then Core.erase_op_unsafe o);
         Core.erase_op f;
         Pass.Stats.bump stats "inline.dead-functions-removed"

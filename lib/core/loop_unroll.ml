@@ -77,6 +77,17 @@ let unroll (loop : Core.op) ~(lb : int) ~(ub : int) ~(step : int) stats =
   Pass.Stats.bump stats "unroll.unrolled"
 
 let run_on_func ?(threshold = default_threshold) (f : Core.op) stats =
+  (* Rejections are reported once per loop, not once per fixpoint sweep. *)
+  let reported = Hashtbl.create 8 in
+  let reject loop key message =
+    if not (Hashtbl.mem reported loop.Core.oid) then begin
+      Hashtbl.replace reported loop.Core.oid ();
+      Pass.Stats.bump stats ("unroll.rejected-" ^ key);
+      if Remarks.enabled () then
+        Remarks.emit ~pass:"loop-unroll" ~name:("rejected-" ^ key)
+          Remarks.Missed ~op:loop message
+    end
+  in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -91,17 +102,34 @@ let run_on_func ?(threshold = default_threshold) (f : Core.op) stats =
           match const_trip loop with
           | Some (lb, ub, step) ->
             let trips = if ub <= lb then 0 else ((ub - lb) + step - 1) / step in
+            let innermost =
+              Core.find_first loop ~p:(fun o ->
+                  Dialects.Scf.is_for o || Dialects.Affine_ops.is_for o)
+              = None
+            in
             if
               trips * body_size loop <= threshold * default_threshold
               && trips <= threshold
-              && Core.find_first loop ~p:(fun o ->
-                     Dialects.Scf.is_for o || Dialects.Affine_ops.is_for o)
-                 = None
+              && innermost
             then begin
+              if Remarks.enabled () then
+                Remarks.emit ~pass:"loop-unroll" ~name:"unrolled" Remarks.Passed
+                  ~op:loop
+                  (Printf.sprintf
+                     "constant-trip loop fully unrolled (%d iterations)" trips);
               unroll loop ~lb ~ub ~step stats;
               changed := true
             end
-          | None -> ())
+            else if innermost then
+              reject loop "size"
+                (Printf.sprintf
+                   "constant-trip loop not unrolled: %d iterations x %d body \
+                    ops exceeds the unroll threshold"
+                   trips (body_size loop))
+          | None ->
+            reject loop "non-constant"
+              "loop not unrolled: bounds or step are not compile-time \
+               constants")
       (List.rev loops)
   done
 

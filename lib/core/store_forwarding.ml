@@ -54,13 +54,26 @@ let run_on_block stats (block : Core.block) =
   in
   List.iter
     (fun op ->
-      if Dialects.Memref.is_load op && op.Core.parent_block != None then
+      if Dialects.Memref.is_load op && op.Core.parent_block != None then begin
+        Pass.Stats.bump stats "store-forwarding.loads-scanned";
         match forward op with
         | Some v when Types.equal v.Core.vty (Core.result op 0).Core.vty ->
+          if Remarks.enabled () then
+            Remarks.emit ~pass:"store-forwarding" ~name:"forwarded"
+              Remarks.Passed ~op
+              "load replaced by the value of a must-aliasing store in the \
+               same block (no intervening may-aliasing write)";
           Core.replace_all_uses_with (Core.result op 0) v;
           Core.erase_op op;
           Pass.Stats.bump stats "store-forwarding.forwarded"
-        | _ -> ())
+        | Some _ ->
+          if Remarks.enabled () then
+            Remarks.emit ~pass:"store-forwarding" ~name:"type-mismatch"
+              Remarks.Missed ~op
+              "matching store found but the stored value's type differs \
+               from the loaded type"
+        | None -> ()
+      end)
     block.Core.body
 
 let run_on_func (f : Core.op) stats =

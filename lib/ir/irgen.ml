@@ -131,9 +131,39 @@ let rec gen_attr g ~depth =
   | 9 -> Attr.Affine_map (pick g affine_maps)
   | _ -> Attr.Array (List.init (int g 4) (fun _ -> gen_attr g ~depth:(depth - 1)))
 
+(* Attributes shaped like the analysis-printer annotations (dotted keys,
+   the same value constructs), so the fuzzer's round-trip oracle covers
+   annotated modules. *)
+let gen_annotation_attr g =
+  match int g 6 with
+  | 0 -> ("sycl.alias_group", Attr.Int (int g 8))
+  | 1 ->
+    ( "sycl.uniform",
+      Attr.Array
+        (List.init
+           (1 + int g 3)
+           (fun _ ->
+             Attr.String (pick g [ "uniform"; "unknown"; "non-uniform" ]))) )
+  | 2 ->
+    ( "sycl.reaching_mods",
+      Attr.Dense_int (Array.init (int g 5) (fun _ -> int g 32)) )
+  | 3 ->
+    ( "sycl.access_matrix",
+      Attr.Array
+        (List.init
+           (1 + int g 2)
+           (fun _ -> Attr.Dense_int (Array.init (1 + int g 3) (fun _ -> int g 5 - 2)))) )
+  | 4 ->
+    ( "sycl.coalescing",
+      Attr.String
+        (pick g [ "linear"; "reverse-linear"; "thread-invariant"; "non-coalesced" ]) )
+  | _ -> ("sycl.temporal_reuse", Attr.Bool (Random.State.bool g.rng))
+
 let gen_attrs g =
-  List.init (int g 4) (fun i ->
-      (Printf.sprintf "a%d" i, gen_attr g ~depth:2))
+  let plain =
+    List.init (int g 4) (fun i -> (Printf.sprintf "a%d" i, gen_attr g ~depth:2))
+  in
+  if int g 4 = 0 then plain @ [ gen_annotation_attr g ] else plain
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)

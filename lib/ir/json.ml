@@ -1,0 +1,316 @@
+(* A small JSON library shared by every emitter in the repo (optimization
+   remarks, simulator traces, fuzz reports, benchmark reports) so there is
+   exactly one string escaper to get right. OCaml's [%S] is close to JSON
+   but not JSON: control bytes print as [\026]-style decimal escapes and
+   non-ASCII bytes as [\xHH], neither of which a JSON parser accepts.
+
+   Values are a plain variant; [to_string] produces deterministic output
+   (object fields in the order given). The reader accepts standard JSON
+   (objects, arrays, strings, numbers, booleans, null) — a superset of
+   what the writers emit, so reports survive hand edits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Escaping and printing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Escape a byte string into valid JSON string contents (no quotes).
+    Control bytes and non-ASCII bytes become [\u00XX] (the byte's
+    Latin-1 interpretation), so the output is pure-ASCII valid JSON no
+    matter what bytes come in. *)
+let escape_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\x0c' -> Buffer.add_string b "\\f"
+      | c when c >= ' ' && c < '\x7f' -> Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c)))
+    s;
+  Buffer.contents b
+
+(* Floats must re-read as numbers: JSON has no nan/infinity, so those
+   serialize as null; finite floats keep a '.'/'e' so they stay floats. *)
+let float_to_string f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ ->
+    let s = Printf.sprintf "%.17g" f in
+    let s =
+      let shorter = Printf.sprintf "%.12g" f in
+      if float_of_string shorter = f then shorter else s
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let rec write ?(indent = 0) buf (v : t) =
+  let pad n = String.make (2 * n) ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        write ~indent:(indent + 1) buf x)
+      xs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\": ";
+        write ~indent:(indent + 1) buf x)
+      kvs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string ?(compact = false) (v : t) =
+  let buf = Buffer.create 1024 in
+  if compact then begin
+    let rec go v =
+      match v with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_to_string f)
+      | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string s);
+        Buffer.add_char buf '"'
+      | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri (fun i x -> if i > 0 then Buffer.add_char buf ','; go x) xs;
+        Buffer.add_char buf ']'
+      | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\":";
+            go x)
+          kvs;
+        Buffer.add_char buf '}'
+    in
+    go v
+  end
+  else write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let as_string = function String s -> Some s | _ -> None
+let as_int = function Int i -> Some i | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+let as_list = function List xs -> Some xs | _ -> None
+let as_obj = function Obj kvs -> Some kvs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string_raw () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\x0c'
+             | 'u' ->
+               if !pos + 4 >= n then error "bad \\u escape";
+               let code =
+                 match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                 | Some c -> c
+                 | None -> error "bad \\u escape"
+               in
+               (* Code points <= 0xff decode to the byte itself (matching
+                  the writer, which only emits \u00XX); anything larger
+                  is UTF-8-encoded. *)
+               if code <= 0xff then Buffer.add_char b (Char.chr code)
+               else if code <= 0x7ff then begin
+                 Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+               end
+               else begin
+                 Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+               end;
+               pos := !pos + 4
+             | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> String (parse_string_raw ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          let key = parse_string_raw () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            skip_ws ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev ((key, v) :: acc)
+          | _ -> error "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> error "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character '%c'" c)
+    | None -> error "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v

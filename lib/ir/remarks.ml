@@ -104,142 +104,49 @@ let to_string (r : t) =
 let pp fmt r = Format.pp_print_string fmt (to_string r)
 
 (* ------------------------------------------------------------------ *)
-(* JSON round-trip                                                     *)
+(* JSON round-trip (via the shared Json module)                        *)
 (* ------------------------------------------------------------------ *)
 
-let escape_json s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let to_json_value (r : t) : Json.t =
+  Json.Obj
+    [
+      ("pass", Json.String r.r_pass);
+      ("name", Json.String r.r_name);
+      ("kind", Json.String (kind_to_string r.r_kind));
+      ("function", Json.String r.r_func);
+      ("op", Json.String r.r_op);
+      ("message", Json.String r.r_message);
+    ]
 
-let to_json (r : t) =
-  Printf.sprintf
-    {|{"pass": "%s", "name": "%s", "kind": "%s", "function": "%s", "op": "%s", "message": "%s"}|}
-    (escape_json r.r_pass) (escape_json r.r_name)
-    (kind_to_string r.r_kind)
-    (escape_json r.r_func) (escape_json r.r_op) (escape_json r.r_message)
+let to_json (r : t) = Json.to_string ~compact:true (to_json_value r)
 
 let list_to_json rs =
-  "[\n  " ^ String.concat ",\n  " (List.map to_json rs) ^ "\n]\n"
+  Json.to_string (Json.List (List.map to_json_value rs)) ^ "\n"
 
 exception Json_error of string
 
-(* A minimal JSON reader covering exactly the shape [list_to_json]
-   produces: an array of flat objects with string values. *)
+let of_json_value (v : Json.t) : t =
+  let field k =
+    match Option.bind (Json.member k v) Json.as_string with
+    | Some s -> s
+    | None -> raise (Json_error (Printf.sprintf "missing field %S" k))
+  in
+  let kind =
+    match kind_of_string (field "kind") with
+    | Some k -> k
+    | None -> raise (Json_error "bad remark kind")
+  in
+  {
+    r_pass = field "pass";
+    r_name = field "name";
+    r_kind = kind;
+    r_func = field "function";
+    r_op = field "op";
+    r_message = field "message";
+  }
+
 let parse_json_remarks (s : string) : t list =
-  let n = String.length s in
-  let pos = ref 0 in
-  let error msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr pos
-    done
-  in
-  let expect c =
-    skip_ws ();
-    if peek () = Some c then incr pos
-    else error (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then error "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-          incr pos;
-          (if !pos >= n then error "unterminated escape"
-           else
-             match s.[!pos] with
-             | '"' -> Buffer.add_char b '"'
-             | '\\' -> Buffer.add_char b '\\'
-             | '/' -> Buffer.add_char b '/'
-             | 'n' -> Buffer.add_char b '\n'
-             | 't' -> Buffer.add_char b '\t'
-             | 'r' -> Buffer.add_char b '\r'
-             | 'u' ->
-               if !pos + 4 >= n then error "bad \\u escape";
-               let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-               (* Only the control characters we escape ourselves. *)
-               Buffer.add_char b (Char.chr (code land 0xff));
-               pos := !pos + 4
-             | c -> error (Printf.sprintf "bad escape '\\%c'" c));
-          incr pos;
-          go ()
-        | c ->
-          Buffer.add_char b c;
-          incr pos;
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_object () =
-    expect '{';
-    let fields = ref [] in
-    skip_ws ();
-    if peek () = Some '}' then incr pos
-    else begin
-      let rec members () =
-        let key = parse_string () in
-        expect ':';
-        skip_ws ();
-        let value = parse_string () in
-        fields := (key, value) :: !fields;
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos; skip_ws (); members ()
-        | Some '}' -> incr pos
-        | _ -> error "expected ',' or '}'"
-      in
-      members ()
-    end;
-    let field k =
-      match List.assoc_opt k !fields with
-      | Some v -> v
-      | None -> error (Printf.sprintf "missing field %S" k)
-    in
-    let kind =
-      match kind_of_string (field "kind") with
-      | Some k -> k
-      | None -> error "bad remark kind"
-    in
-    {
-      r_pass = field "pass";
-      r_name = field "name";
-      r_kind = kind;
-      r_func = field "function";
-      r_op = field "op";
-      r_message = field "message";
-    }
-  in
-  expect '[';
-  skip_ws ();
-  let out = ref [] in
-  if peek () = Some ']' then incr pos
-  else begin
-    let rec elements () =
-      out := parse_object () :: !out;
-      skip_ws ();
-      match peek () with
-      | Some ',' -> incr pos; skip_ws (); elements ()
-      | Some ']' -> incr pos
-      | _ -> error "expected ',' or ']'"
-    in
-    elements ()
-  end;
-  List.rev !out
+  match Json.parse s with
+  | exception Json.Parse_error msg -> raise (Json_error msg)
+  | Json.List items -> List.map of_json_value items
+  | _ -> raise (Json_error "expected a JSON array of remark objects")

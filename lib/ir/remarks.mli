@@ -52,6 +52,9 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+(** Structured form, for embedding in larger documents. *)
+val to_json_value : t -> Json.t
+
 val to_json : t -> string
 val list_to_json : t list -> string
 

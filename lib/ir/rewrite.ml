@@ -85,8 +85,14 @@ let erase_if_dead (op : Core.op) : bool =
 
 (** Apply [patterns] plus folding greedily until fixpoint (bounded). The
     scope is [top] and everything nested in it. Returns the number of
-    rewrites performed. *)
-let apply_greedily ?(max_iterations = 10) (top : Core.op) patterns =
+    rewrites performed. [on_rewrite] fires once per rewrite with the
+    enclosing function's symbol (captured before the rewrite, since the
+    op may be erased by it), the kind ("fold", "dce", or the pattern
+    name) and the rewritten op — callers use it for per-pattern
+    statistics and optimization remarks. *)
+let apply_greedily ?(max_iterations = 10)
+    ?(on_rewrite = fun ~func:(_ : string) (_ : string) (_ : Core.op) -> ())
+    (top : Core.op) patterns =
   let total = ref 0 in
   let changed = ref true in
   let iter = ref 0 in
@@ -100,20 +106,28 @@ let apply_greedily ?(max_iterations = 10) (top : Core.op) patterns =
       (fun op ->
         (* Skip ops that a previous rewrite already detached. *)
         if op.Core.parent_block <> None then begin
+          let func =
+            match Core.enclosing_func op with
+            | Some f -> Core.func_sym f
+            | None -> "?"
+          in
           if try_fold op then begin
             changed := true;
-            incr total
+            incr total;
+            on_rewrite ~func "fold" op
           end
           else if erase_if_dead op then begin
             changed := true;
-            incr total
+            incr total;
+            on_rewrite ~func "dce" op
           end
           else
             List.iter
               (fun p ->
                 if op.Core.parent_block <> None && p.apply op then begin
                   changed := true;
-                  incr total
+                  incr total;
+                  on_rewrite ~func p.pat_name op
                 end)
               patterns
         end)

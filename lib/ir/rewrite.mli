@@ -32,5 +32,12 @@ val erase_if_dead : Core.op -> bool
 
 (** Apply patterns plus folding and dead-op erasure greedily until a
     fixpoint (bounded by [max_iterations]). Returns the number of
-    rewrites performed. *)
-val apply_greedily : ?max_iterations:int -> Core.op -> pattern list -> int
+    rewrites performed. [on_rewrite] fires once per rewrite with the
+    enclosing function's symbol (captured before the rewrite), the kind
+    ("fold", "dce", or the pattern name) and the rewritten op. *)
+val apply_greedily :
+  ?max_iterations:int ->
+  ?on_rewrite:(func:string -> string -> Core.op -> unit) ->
+  Core.op ->
+  pattern list ->
+  int

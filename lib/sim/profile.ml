@@ -188,21 +188,6 @@ let pp_table fmt (ps : kernel_profile list) =
 (* Chrome trace export                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 (* One process, one thread per charge category, so the viewer renders
    host bookkeeping, transfers and device execution as separate rows. *)
 let tid_of_cat = function
@@ -214,36 +199,37 @@ let thread_names = [ (1, "host runtime"); (2, "transfers"); (3, "device") ]
 
 (** Serialize events as a Chrome-trace JSON document ([traceEvents],
     complete events [ph:"X"], 1 cycle = 1 us) for chrome://tracing or
-    Perfetto. *)
+    Perfetto. Serialization goes through the shared {!Mlir.Json} writer
+    so event names with arbitrary bytes stay valid JSON. *)
 let to_chrome_json (evs : event list) : string =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"traceEvents\":[\n";
-  let first = ref true in
-  let emit s =
-    if not !first then Buffer.add_string b ",\n";
-    first := false;
-    Buffer.add_string b s
+  let open Mlir.Json in
+  let meta (tid, name) =
+    Obj
+      [
+        ("name", String "thread_name");
+        ("ph", String "M");
+        ("pid", Int 1);
+        ("tid", Int tid);
+        ("args", Obj [ ("name", String name) ]);
+      ]
   in
-  List.iter
-    (fun (tid, name) ->
-      emit
-        (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-           tid (json_escape name)))
-    thread_names;
-  List.iter
-    (fun e ->
-      let args =
-        String.concat ","
-          (List.map
-             (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
-             e.ev_args)
-      in
-      emit
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
-           (json_escape e.ev_name) (json_escape e.ev_cat) e.ev_ts e.ev_dur
-           (tid_of_cat e.ev_cat) args))
-    evs;
-  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
-  Buffer.contents b
+  let ev (e : event) =
+    Obj
+      [
+        ("name", String e.ev_name);
+        ("cat", String e.ev_cat);
+        ("ph", String "X");
+        ("ts", Int e.ev_ts);
+        ("dur", Int e.ev_dur);
+        ("pid", Int 1);
+        ("tid", Int (tid_of_cat e.ev_cat));
+        ("args", Obj (List.map (fun (k, v) -> (k, Int v)) e.ev_args));
+      ]
+  in
+  to_string
+    (Obj
+       [
+         ("traceEvents", List (List.map meta thread_names @ List.map ev evs));
+         ("displayTimeUnit", String "ms");
+       ])
+  ^ "\n"

@@ -1,0 +1,258 @@
+(* Benchmark metrics pipeline: a schema-versioned JSON snapshot of the
+   simulated evaluation (per-workload cycles, memory traffic, validity,
+   compile-time pass statistics) plus a comparator. `bench report` writes
+   one; `bench compare old.json new.json` flags cycle regressions beyond
+   a tolerance, validity regressions, and vanished workloads — the CI
+   gate that keeps optimizations from silently rotting. The simulator is
+   deterministic, so a self-comparison is exact. *)
+
+open Mlir
+module Host_interp = Sycl_runtime.Host_interp
+module Cost = Sycl_sim.Cost
+
+let schema_version = 1
+
+type config_metrics = {
+  cm_cycles : int;
+  cm_valid : bool;
+  cm_device_cycles : int;
+  cm_transfer_cycles : int;
+  cm_kernel_launches : int;
+  cm_global_transactions : int;
+  cm_local_transactions : int;
+}
+
+type entry = {
+  e_name : string;
+  e_category : string;
+  e_problem_size : int;
+  e_configs : (string * config_metrics) list;
+      (** keyed "dpcpp" / "acpp" / "sycl-mlir"; "acpp" is absent when the
+          workload is unsupported or fails validation there *)
+  e_speedup : float;  (** SYCL-MLIR cycles vs. the DPC++ baseline *)
+  e_pass_stats : (string * int) list;
+      (** merged compile-time statistics of the SYCL-MLIR pipeline *)
+}
+
+type report = {
+  r_schema_version : int;
+  r_label : string;
+  r_entries : entry list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Collection                                                        *)
+
+let metrics_of (m : Common.measurement) : config_metrics =
+  let res = m.Common.m_result in
+  let sum f =
+    List.fold_left (fun acc (_, s) -> acc + f s) 0 res.Host_interp.per_kernel
+  in
+  {
+    cm_cycles = m.Common.m_cycles;
+    cm_valid = m.Common.m_valid;
+    cm_device_cycles = res.Host_interp.device_cycles;
+    cm_transfer_cycles = res.Host_interp.transfer_cycles;
+    cm_kernel_launches = res.Host_interp.kernel_launches;
+    cm_global_transactions = sum (fun s -> s.Cost.global_transactions);
+    cm_local_transactions = sum (fun s -> s.Cost.local_transactions);
+  }
+
+let entry_of_comparison (c : Common.comparison) : entry =
+  let w = c.Common.c_workload in
+  {
+    e_name = w.Common.w_name;
+    e_category = Common.category_to_string w.Common.w_category;
+    e_problem_size = w.Common.w_problem_size;
+    e_configs =
+      (("dpcpp", metrics_of c.Common.c_base)
+       ::
+       (match c.Common.c_acpp with
+       | Some m -> [ ("acpp", metrics_of m) ]
+       | None -> []))
+      @ [ ("sycl-mlir", metrics_of c.Common.c_sycl_mlir) ];
+    e_speedup = Common.speedup c.Common.c_base c.Common.c_sycl_mlir;
+    e_pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats;
+  }
+
+let collect ~label (workloads : Common.workload list) : report =
+  {
+    r_schema_version = schema_version;
+    r_label = label;
+    r_entries =
+      List.map (fun w -> entry_of_comparison (Common.compare_workload w)) workloads;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* JSON (via the shared Mlir.Json printer/parser)                    *)
+
+let metrics_to_json (m : config_metrics) : Json.t =
+  Json.Obj
+    [ ("cycles", Json.Int m.cm_cycles);
+      ("valid", Json.Bool m.cm_valid);
+      ("device_cycles", Json.Int m.cm_device_cycles);
+      ("transfer_cycles", Json.Int m.cm_transfer_cycles);
+      ("kernel_launches", Json.Int m.cm_kernel_launches);
+      ("global_transactions", Json.Int m.cm_global_transactions);
+      ("local_transactions", Json.Int m.cm_local_transactions) ]
+
+let entry_to_json (e : entry) : Json.t =
+  Json.Obj
+    [ ("name", Json.String e.e_name);
+      ("category", Json.String e.e_category);
+      ("problem_size", Json.Int e.e_problem_size);
+      ( "configs",
+        Json.Obj (List.map (fun (k, m) -> (k, metrics_to_json m)) e.e_configs) );
+      ("speedup_sycl_mlir", Json.Float e.e_speedup);
+      ( "pass_stats",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) ) ]
+
+let to_json (r : report) : string =
+  Json.to_string
+    (Json.Obj
+       [ ("schema_version", Json.Int r.r_schema_version);
+         ("label", Json.String r.r_label);
+         ("workloads", Json.List (List.map entry_to_json r.r_entries)) ])
+  ^ "\n"
+
+exception Report_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Report_error s)) fmt
+
+let req name v =
+  match v with Some x -> x | None -> fail "missing or ill-typed field %S" name
+
+let get_int j name = req name (Option.bind (Json.member name j) Json.as_int)
+let get_str j name = req name (Option.bind (Json.member name j) Json.as_string)
+let get_bool j name = req name (Option.bind (Json.member name j) Json.as_bool)
+
+let metrics_of_json (j : Json.t) : config_metrics =
+  {
+    cm_cycles = get_int j "cycles";
+    cm_valid = get_bool j "valid";
+    cm_device_cycles = get_int j "device_cycles";
+    cm_transfer_cycles = get_int j "transfer_cycles";
+    cm_kernel_launches = get_int j "kernel_launches";
+    cm_global_transactions = get_int j "global_transactions";
+    cm_local_transactions = get_int j "local_transactions";
+  }
+
+let entry_of_json (j : Json.t) : entry =
+  {
+    e_name = get_str j "name";
+    e_category = get_str j "category";
+    e_problem_size = get_int j "problem_size";
+    e_configs =
+      (match Json.member "configs" j with
+      | Some (Json.Obj kvs) ->
+        List.map (fun (k, v) -> (k, metrics_of_json v)) kvs
+      | _ -> fail "missing or ill-typed field %S" "configs");
+    e_speedup =
+      req "speedup_sycl_mlir"
+        (Option.bind (Json.member "speedup_sycl_mlir" j) Json.as_float);
+    e_pass_stats =
+      (match Json.member "pass_stats" j with
+      | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match Json.as_int v with
+            | Some n -> (k, n)
+            | None -> fail "pass_stats value for %S is not an integer" k)
+          kvs
+      | _ -> fail "missing or ill-typed field %S" "pass_stats");
+  }
+
+let of_json (s : string) : report =
+  let j =
+    match Json.parse s with
+    | j -> j
+    | exception Json.Parse_error msg -> fail "invalid JSON: %s" msg
+  in
+  let version = get_int j "schema_version" in
+  if version <> schema_version then
+    fail "unsupported schema version %d (expected %d)" version schema_version;
+  {
+    r_schema_version = version;
+    r_label = get_str j "label";
+    r_entries =
+      (match Json.member "workloads" j with
+      | Some (Json.List items) -> List.map entry_of_json items
+      | _ -> fail "missing or ill-typed field %S" "workloads");
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Comparison                                                        *)
+
+type issue_kind =
+  | Cycle_regression
+  | Validity_regression
+  | Missing_workload
+  | Missing_config
+
+type issue = {
+  i_kind : issue_kind;
+  i_workload : string;
+  i_config : string;  (** "" for workload-level issues *)
+  i_detail : string;
+}
+
+let issue_to_string (i : issue) =
+  if i.i_config = "" then Printf.sprintf "%s: %s" i.i_workload i.i_detail
+  else Printf.sprintf "%s [%s]: %s" i.i_workload i.i_config i.i_detail
+
+(** Compare [current] against [baseline]: cycle counts may grow by at
+    most [tolerance] (a fraction, default 5%), validity must not regress,
+    and every baseline workload/config must still be present. New
+    workloads and improvements are fine. *)
+let compare_reports ?(tolerance = 0.05) ~(baseline : report)
+    (current : report) : issue list =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  List.iter
+    (fun (old_e : entry) ->
+      match
+        List.find_opt (fun e -> e.e_name = old_e.e_name) current.r_entries
+      with
+      | None ->
+        add
+          { i_kind = Missing_workload; i_workload = old_e.e_name;
+            i_config = "";
+            i_detail =
+              Printf.sprintf "workload present in %s but missing from %s"
+                baseline.r_label current.r_label }
+      | Some new_e ->
+        List.iter
+          (fun (cfg, (old_m : config_metrics)) ->
+            match List.assoc_opt cfg new_e.e_configs with
+            | None ->
+              add
+                { i_kind = Missing_config; i_workload = old_e.e_name;
+                  i_config = cfg;
+                  i_detail = "configuration missing from the new report" }
+            | Some new_m ->
+              let budget =
+                int_of_float
+                  (Float.round
+                     (float_of_int old_m.cm_cycles *. (1.0 +. tolerance)))
+              in
+              if new_m.cm_cycles > budget then
+                add
+                  { i_kind = Cycle_regression; i_workload = old_e.e_name;
+                    i_config = cfg;
+                    i_detail =
+                      Printf.sprintf
+                        "cycles regressed %d -> %d (+%.1f%%, tolerance %.1f%%)"
+                        old_m.cm_cycles new_m.cm_cycles
+                        (100.0
+                        *. (float_of_int new_m.cm_cycles
+                            /. float_of_int (max 1 old_m.cm_cycles)
+                           -. 1.0))
+                        (100.0 *. tolerance) };
+              if old_m.cm_valid && not new_m.cm_valid then
+                add
+                  { i_kind = Validity_regression; i_workload = old_e.e_name;
+                    i_config = cfg;
+                    i_detail = "result validated in the baseline but no longer does" })
+          old_e.e_configs)
+    baseline.r_entries;
+  List.rev !issues

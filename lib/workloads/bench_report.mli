@@ -1,0 +1,64 @@
+(** Benchmark metrics pipeline: schema-versioned JSON snapshots of the
+    simulated evaluation, and a regression comparator for CI gating. *)
+
+val schema_version : int
+
+type config_metrics = {
+  cm_cycles : int;
+  cm_valid : bool;
+  cm_device_cycles : int;
+  cm_transfer_cycles : int;
+  cm_kernel_launches : int;
+  cm_global_transactions : int;
+  cm_local_transactions : int;
+}
+
+type entry = {
+  e_name : string;
+  e_category : string;
+  e_problem_size : int;
+  e_configs : (string * config_metrics) list;
+  e_speedup : float;
+  e_pass_stats : (string * int) list;
+}
+
+type report = {
+  r_schema_version : int;
+  r_label : string;
+  r_entries : entry list;
+}
+
+val metrics_of : Common.measurement -> config_metrics
+val entry_of_comparison : Common.comparison -> entry
+
+(** Measure every workload under the three configurations. *)
+val collect : label:string -> Common.workload list -> report
+
+val to_json : report -> string
+
+exception Report_error of string
+
+(** Parse a report; raises {!Report_error} on malformed input or a
+    schema-version mismatch. *)
+val of_json : string -> report
+
+type issue_kind =
+  | Cycle_regression
+  | Validity_regression
+  | Missing_workload
+  | Missing_config
+
+type issue = {
+  i_kind : issue_kind;
+  i_workload : string;
+  i_config : string;
+  i_detail : string;
+}
+
+val issue_to_string : issue -> string
+
+(** Issues in [current] relative to [baseline]; empty means the gate
+    passes. [tolerance] is the permitted fractional cycle growth
+    (default 0.05). *)
+val compare_reports :
+  ?tolerance:float -> baseline:report -> report -> issue list

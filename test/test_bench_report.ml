@@ -1,0 +1,145 @@
+(* The benchmark-regression pipeline: JSON round-trip of reports, the
+   comparator's regression/tolerance/missing-workload semantics, and one
+   measured end-to-end snapshot. *)
+
+module BR = Sycl_workloads.Bench_report
+module W = Sycl_workloads
+
+let metrics ?(cycles = 1000) ?(valid = true) () : BR.config_metrics =
+  {
+    BR.cm_cycles = cycles;
+    cm_valid = valid;
+    cm_device_cycles = cycles / 2;
+    cm_transfer_cycles = cycles / 4;
+    cm_kernel_launches = 1;
+    cm_global_transactions = 64;
+    cm_local_transactions = 8;
+  }
+
+let entry ?(name = "w") ?(configs = []) () : BR.entry =
+  {
+    BR.e_name = name;
+    e_category = "single-kernel";
+    e_problem_size = 256;
+    e_configs =
+      (if configs = [] then
+         [ ("dpcpp", metrics ()); ("sycl-mlir", metrics ~cycles:900 ()) ]
+       else configs);
+    e_speedup = 1.11;
+    e_pass_stats = [ ("licm/licm.hoisted-pure", 3) ];
+  }
+
+let report ?(label = "base") entries : BR.report =
+  { BR.r_schema_version = BR.schema_version; r_label = label; r_entries = entries }
+
+let kinds issues = List.map (fun i -> i.BR.i_kind) issues
+
+let tests_list =
+  [
+    Alcotest.test_case "JSON round-trip preserves the report" `Quick (fun () ->
+        let r = report [ entry ~name:"a" (); entry ~name:"b" () ] in
+        let r' = BR.of_json (BR.to_json r) in
+        Alcotest.(check bool) "equal" true (r = r'));
+    Alcotest.test_case "self-comparison is clean" `Quick (fun () ->
+        let r = report [ entry () ] in
+        Alcotest.(check int) "no issues" 0
+          (List.length (BR.compare_reports ~baseline:r r)));
+    Alcotest.test_case "cycle regression beyond tolerance flags" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        let worse =
+          report ~label:"new"
+            [ entry ~name:"w"
+                ~configs:
+                  [ ("dpcpp", metrics ()); ("sycl-mlir", metrics ~cycles:1200 ()) ]
+                () ]
+        in
+        match BR.compare_reports ~baseline:base worse with
+        | [ i ] ->
+          Alcotest.(check bool) "kind" true (i.BR.i_kind = BR.Cycle_regression);
+          Alcotest.(check string) "config" "sycl-mlir" i.BR.i_config
+        | issues -> Alcotest.failf "expected 1 issue, got %d" (List.length issues));
+    Alcotest.test_case "tolerance boundary: exactly at budget passes" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        let at_limit cycles =
+          report
+            [ entry ~name:"w"
+                ~configs:
+                  [ ("dpcpp", metrics ()); ("sycl-mlir", metrics ~cycles ()) ]
+                () ]
+        in
+        (* baseline sycl-mlir is 900 cycles; 5% budget = 945. *)
+        Alcotest.(check int) "945 passes" 0
+          (List.length (BR.compare_reports ~baseline:base (at_limit 945)));
+        Alcotest.(check int) "946 fails" 1
+          (List.length (BR.compare_reports ~baseline:base (at_limit 946)));
+        Alcotest.(check int) "wider tolerance admits it" 0
+          (List.length
+             (BR.compare_reports ~tolerance:0.10 ~baseline:base (at_limit 946))));
+    Alcotest.test_case "validity regression flags" `Quick (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        let invalid =
+          report
+            [ entry ~name:"w"
+                ~configs:
+                  [ ("dpcpp", metrics ());
+                    ("sycl-mlir", metrics ~cycles:900 ~valid:false ()) ]
+                () ]
+        in
+        Alcotest.(check bool) "validity issue" true
+          (List.mem BR.Validity_regression
+             (kinds (BR.compare_reports ~baseline:base invalid))));
+    Alcotest.test_case "missing workload and config flag" `Quick (fun () ->
+        let base = report [ entry ~name:"kept" (); entry ~name:"dropped" () ] in
+        let cur =
+          report
+            [ entry ~name:"kept" ~configs:[ ("dpcpp", metrics ()) ] () ]
+        in
+        let ks = kinds (BR.compare_reports ~baseline:base cur) in
+        Alcotest.(check bool) "missing workload" true
+          (List.mem BR.Missing_workload ks);
+        Alcotest.(check bool) "missing config" true (List.mem BR.Missing_config ks));
+    Alcotest.test_case "new workloads and improvements are fine" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        let better =
+          report
+            [ entry ~name:"w"
+                ~configs:
+                  [ ("dpcpp", metrics ()); ("sycl-mlir", metrics ~cycles:500 ()) ]
+                ();
+              entry ~name:"extra" () ]
+        in
+        Alcotest.(check int) "no issues" 0
+          (List.length (BR.compare_reports ~baseline:base better)));
+    Alcotest.test_case "malformed input raises Report_error" `Quick (fun () ->
+        let bad s =
+          match BR.of_json s with
+          | _ -> Alcotest.failf "expected Report_error for %s" s
+          | exception BR.Report_error _ -> ()
+        in
+        bad "not json";
+        bad "{\"schema_version\": 999, \"label\": \"x\", \"workloads\": []}";
+        bad "{\"label\": \"x\", \"workloads\": []}";
+        bad
+          "{\"schema_version\": 1, \"label\": \"x\", \"workloads\": [{\"name\": 3}]}");
+    Alcotest.test_case "measured snapshot round-trips and self-compares clean"
+      `Slow (fun () ->
+        Helpers.init ();
+        let r =
+          BR.collect ~label:"test" [ W.Single_kernel.vec_add ~n:256 ]
+        in
+        let r' = BR.of_json (BR.to_json r) in
+        Alcotest.(check bool) "round-trip equal" true (r = r');
+        Alcotest.(check int) "self-compare clean" 0
+          (List.length (BR.compare_reports ~baseline:r r'));
+        Alcotest.(check bool) "has sycl-mlir config" true
+          (List.for_all
+             (fun (e : BR.entry) ->
+               List.mem_assoc "sycl-mlir" e.BR.e_configs
+               && List.mem_assoc "dpcpp" e.BR.e_configs)
+             r.BR.r_entries));
+  ]
+
+let tests = ("bench-report", tests_list)

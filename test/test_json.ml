@@ -1,0 +1,97 @@
+(* The shared JSON library: escaping correctness (valid pure-ASCII JSON
+   for arbitrary byte strings), printer/parser round-trips, float
+   fidelity, and parse-error reporting. *)
+
+open Mlir
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (Json.to_string j)) ( = )
+
+let roundtrip name j =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check json "pretty round-trips" j (Json.parse (Json.to_string j));
+      Alcotest.check json "compact round-trips" j
+        (Json.parse (Json.to_string ~compact:true j)))
+
+let parse_fails name s =
+  Alcotest.test_case name `Quick (fun () ->
+      match Json.parse s with
+      | _ -> Alcotest.failf "expected a parse error for %S" s
+      | exception Json.Parse_error _ -> ())
+
+let sample =
+  Json.Obj
+    [ ("name", Json.String "gemm");
+      ("cycles", Json.Int 104864);
+      ("speedup", Json.Float 1.25);
+      ("valid", Json.Bool true);
+      ("missing", Json.Null);
+      ( "stats",
+        Json.List [ Json.Int 0; Json.Int (-3); Json.Obj []; Json.List [] ] ) ]
+
+let tests_list =
+  [
+    Alcotest.test_case "escaping emits pure-ASCII valid JSON" `Quick (fun () ->
+        let nasty = "quote\" slash\\ nl\n tab\t cr\r ctl\x01 hi\xc3\xa9\xff" in
+        let s = Json.to_string (Json.String nasty) in
+        Alcotest.(check bool) "pure ASCII" true
+          (String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f) s);
+        Alcotest.(check bool)
+          "control and non-ASCII bytes become \\u00XX" true
+          (let has needle =
+             let nl = String.length needle in
+             let rec go i =
+               i + nl <= String.length s
+               && (String.sub s i nl = needle || go (i + 1))
+             in
+             go 0
+           in
+           has "\\u0001" && has "\\u00c3" && has "\\u00ff" && has "\\\""
+           && has "\\\\" && has "\\n" && has "\\t" && has "\\r");
+        Alcotest.check json "bytes survive the round-trip" (Json.String nasty)
+          (Json.parse s));
+    Alcotest.test_case "\\uXXXX above 0xff decodes as UTF-8" `Quick (fun () ->
+        Alcotest.check json "euro sign" (Json.String "\xe2\x82\xac")
+          (Json.parse "\"\\u20ac\""));
+    Alcotest.test_case "floats print with a decimal marker and re-parse exactly"
+      `Quick (fun () ->
+        List.iter
+          (fun f ->
+            let s = Json.to_string (Json.Float f) in
+            Alcotest.(check bool)
+              (s ^ " has . or e") true
+              (String.exists (fun c -> c = '.' || c = 'e') s);
+            match Json.parse s with
+            | Json.Float f' ->
+              Alcotest.(check bool) (s ^ " exact") true (Float.equal f f')
+            | _ -> Alcotest.failf "%s did not parse as a float" s)
+          [ 0.1; 1.0; -3.5e300; 1e-7; 0.99740616417454986 ]);
+    Alcotest.test_case "non-finite floats serialize as null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+        Alcotest.(check string) "inf" "null"
+          (Json.to_string (Json.Float Float.infinity)));
+    Alcotest.test_case "extreme ints round-trip" `Quick (fun () ->
+        List.iter
+          (fun i -> Alcotest.check json "int" (Json.Int i) (Json.parse (string_of_int i)))
+          [ 0; max_int; min_int + 1; -1 ]);
+    roundtrip "nested document round-trips" sample;
+    roundtrip "empty containers" (Json.Obj [ ("a", Json.List []); ("b", Json.Obj []) ]);
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        Alcotest.(check (option int)) "member int" (Some 104864)
+          (Option.bind (Json.member "cycles" sample) Json.as_int);
+        Alcotest.(check (option string)) "member string" (Some "gemm")
+          (Option.bind (Json.member "name" sample) Json.as_string);
+        Alcotest.(check (option bool)) "member bool" (Some true)
+          (Option.bind (Json.member "valid" sample) Json.as_bool);
+        Alcotest.(check (option (float 1e-9))) "int widens to float" (Some 104864.0)
+          (Option.bind (Json.member "cycles" sample) Json.as_float);
+        Alcotest.(check (option int)) "missing member" None
+          (Option.bind (Json.member "nope" sample) Json.as_int));
+    parse_fails "truncated object" "{\"a\": 1";
+    parse_fails "trailing comma" "[1, 2,]";
+    parse_fails "bare keyword" "tru";
+    parse_fails "trailing garbage" "1 x";
+    parse_fails "unterminated string" "\"abc";
+    parse_fails "truncated unicode escape" "\"\\u12";
+  ]
+
+let tests = ("json", tests_list)
