@@ -20,6 +20,12 @@
                                          — exit 1 on cycle/validity
                                            regressions or missing workloads
 
+   Global flags (any subcommand):
+     --sim-domains N     — run the device simulator's work-groups on N
+                           worker domains (default: recommended count)
+     --sim-check-races   — detect work-groups writing overlapping global
+                           locations (exit 1 with a report)
+
    Absolute paper numbers came from an Intel Data Center GPU Max 1100;
    ours come from the transaction-level simulator — only the shape of the
    comparison (who wins, roughly by how much, where crossovers fall) is
@@ -27,6 +33,32 @@
 
 open Sycl_workloads
 module Driver = Sycl_core.Driver
+
+(* Global simulator flags, valid with every subcommand:
+     --sim-domains N     worker domains for the device simulator
+     --sim-check-races   cross-group write-overlap detection
+   They are stripped from argv here and applied as the simulator's
+   process-wide defaults, so each subcommand's own parser never sees
+   them. *)
+let filtered_args =
+  let rec go acc = function
+    | "--sim-domains" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> Sycl_sim.Interp.set_default_domains n
+      | _ ->
+        Printf.eprintf "bad --sim-domains %s (want an integer >= 1)\n" v;
+        exit 2);
+      go acc rest
+    | "--sim-check-races" :: rest ->
+      Sycl_sim.Interp.set_default_check_races true;
+      go acc rest
+    | x :: rest -> go (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  go [] (List.tl (Array.to_list Sys.argv))
+
+let cmd = match filtered_args with c :: _ -> c | [] -> "all"
+let subcommand_args () = match filtered_args with _ :: rest -> rest | [] -> []
 
 let rows_cache : (string, Suite.row list) Hashtbl.t = Hashtbl.create 4
 
@@ -266,7 +298,7 @@ let run_fuzz () =
       Printf.eprintf "fuzz: unknown argument %s\n" other;
       exit 2
   in
-  parse_args (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)));
+  parse_args (subcommand_args ());
   Dialects.Register.init ();
   (* (iteration, oracle, detail) *)
   let failures : (int * string * string) list ref = ref [] in
@@ -297,10 +329,17 @@ let run_fuzz () =
       | Error f ->
         record i f.Mlir.Difftest.f_oracle
           (w.Common.w_name ^ ": " ^ f.Mlir.Difftest.f_detail));
-      match Differential.check w with
+      (match Differential.check w with
       | Ok () -> ()
       | Error d ->
-        record i "differential" (Differential.divergence_to_string d)
+        record i "differential" (Differential.divergence_to_string d));
+      (* Oracle (d): sequential vs. parallel backend determinism — the
+         full run digest (stats, profile, buffers) must be
+         byte-identical under worker domains. *)
+      match Differential.check_parallel ~domains:4 w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail
     end
   done;
   let failures = List.rev !failures in
@@ -339,9 +378,6 @@ let run_fuzz () =
 (* ------------------------------------------------------------------ *)
 (* Benchmark-regression pipeline (see Bench_report)                    *)
 (* ------------------------------------------------------------------ *)
-
-let subcommand_args () =
-  Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
 
 (** [report] — measure the full suite and write BENCH_<label>.json. *)
 let run_report () =
@@ -458,8 +494,8 @@ let run_profile () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match cmd with
+  (try
+     match cmd with
   | "fig2" -> run_fig2 ()
   | "fig3" -> run_fig3 ()
   | "stencil" -> run_stencil ()
@@ -482,5 +518,13 @@ let () =
   | other ->
     Printf.eprintf "unknown command %s (fig2|fig3|stencil|geomean|ablation|fusion|passes|profile|fuzz|report|compare|all)\n"
       other;
-    exit 1);
+    exit 1
+   with Sycl_sim.Interp.Race_detected races ->
+     Printf.eprintf
+       "RACE: %d pair(s) of work-groups wrote overlapping global locations\n"
+       (List.length races);
+     List.iter
+       (fun r -> Printf.eprintf "  %s\n" (Sycl_sim.Interp.describe_race r))
+       races;
+     exit 1);
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

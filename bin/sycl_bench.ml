@@ -62,8 +62,11 @@ let write_profile (m : Common.measurement) path =
     (Sycl_sim.Profile.of_events events)
 
 let run list_flag bench mode compare no_licm no_reduction no_internalization
-    no_hostdev fusion profile_json =
+    no_hostdev fusion profile_json sim_domains check_races =
   if list_flag then (list_workloads (); exit 0);
+  Option.iter Sycl_sim.Interp.set_default_domains sim_domains;
+  if check_races then Sycl_sim.Interp.set_default_check_races true;
+  try
   match bench with
   | None ->
     prerr_endline "missing --benchmark (or use --list)";
@@ -102,6 +105,14 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
         report w m;
         Option.iter (write_profile m) profile_json;
         if not m.Common.m_valid then exit 1)
+  with Sycl_sim.Interp.Race_detected races ->
+    Printf.eprintf
+      "RACE: %d pair(s) of work-groups wrote overlapping global locations\n"
+      (List.length races);
+    List.iter
+      (fun r -> Printf.eprintf "  %s\n" (Sycl_sim.Interp.describe_race r))
+      races;
+    exit 1
 
 let list_arg = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List workloads.")
 
@@ -132,6 +143,22 @@ let profile_json_arg =
               a per-kernel profile table. Single-mode runs only (not \
               $(b,--compare)).")
 
+let sim_domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sim-domains" ] ~docv:"N"
+           ~doc:
+             "Execute the simulated device's work-groups on $(docv) worker \
+              domains (default: the recommended domain count). Results are \
+              bit-identical to the sequential backend.")
+
+let check_races_arg =
+  Arg.(value & flag
+       & info [ "sim-check-races" ]
+           ~doc:
+             "Record per-work-group write footprints and fail when two \
+              work-groups of one launch write overlapping global locations \
+              (a violation of SYCL's inter-group independence).")
+
 let cmd =
   let doc = "run a SYCL-Bench reproduction workload on the simulated device" in
   Cmd.v (Cmd.info "sycl-bench" ~doc)
@@ -141,6 +168,6 @@ let cmd =
           $ flag "no-internalization" "Disable loop internalization."
           $ flag "no-host-device" "Disable host-device propagation."
           $ flag "fusion" "Enable compile-time kernel fusion."
-          $ profile_json_arg)
+          $ profile_json_arg $ sim_domains_arg $ check_races_arg)
 
 let () = exit (Cmd.eval cmd)

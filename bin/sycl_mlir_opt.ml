@@ -117,13 +117,20 @@ let run passes verify stats stats_json timing remarks remarks_json
         Printf.eprintf "error: bad --remarks regex: %s\n" msg;
         exit 2
     in
-    if remarks <> None || remarks_json <> None then
-      Mlir.Remarks.install (fun r ->
-          all_remarks := r :: !all_remarks;
-          match remark_filter with
-          | Some rx when Str.string_match rx r.Mlir.Remarks.r_pass 0 ->
-            Printf.eprintf "%s\n%!" (Mlir.Remarks.to_string r)
-          | _ -> ());
+    (* The sink is scoped to exactly this pipeline run via
+       Pass.run_pipeline, instead of being installed globally — a nested
+       pipeline can no longer steal or drop it. *)
+    let remarks_sink =
+      if remarks <> None || remarks_json <> None then
+        Some
+          (fun r ->
+            all_remarks := r :: !all_remarks;
+            match remark_filter with
+            | Some rx when Str.string_match rx r.Mlir.Remarks.r_pass 0 ->
+              Printf.eprintf "%s\n%!" (Mlir.Remarks.to_string r)
+            | _ -> ())
+      else None
+    in
     let tm = Mlir.Instrument.timer () in
     let instrumentations =
       (if timing then [ Mlir.Instrument.timing tm ] else [])
@@ -137,7 +144,8 @@ let run passes verify stats stats_json timing remarks remarks_json
       | None -> []
     in
     match
-      Mlir.Pass.run_pipeline ~verify_each:verify ~instrumentations pipeline m
+      Mlir.Pass.run_pipeline ~verify_each:verify ~instrumentations
+        ?remarks_sink pipeline m
     with
     | result ->
       Mlir.Printer.print m;

@@ -104,6 +104,27 @@ let check_pipeline_verified ~(passes : Pass.t list) (m : Core.op) :
         f_ir = Some (Printer.to_string m) }
 
 (* ------------------------------------------------------------------ *)
+(* Oracle (d): determinism — two renderings must agree byte-for-byte   *)
+(* ------------------------------------------------------------------ *)
+
+(** Compare two textual renderings of what must be the same result —
+    e.g. the sequential simulator backend vs. the parallel one after its
+    canonical merge. Any byte difference is a failure; the detail names
+    the first differing line. [what] says which artefact disagreed
+    ("stats", "profile", "bench-json", ...). *)
+let check_deterministic ~(oracle : string) ~(what : string)
+    ~(reference : string) ~(subject : string) () : (unit, failure) result =
+  if String.equal reference subject then Ok ()
+  else
+    let detail =
+      match first_diff reference subject with
+      | Some (i, a, b) ->
+        Printf.sprintf "%s differs at line %d: %S vs %S" what i a b
+      | None -> what ^ " differs"
+    in
+    Error { f_oracle = oracle; f_detail = detail; f_ir = None }
+
+(* ------------------------------------------------------------------ *)
 (* Greedy pass bisection                                               *)
 (* ------------------------------------------------------------------ *)
 

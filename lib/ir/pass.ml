@@ -50,30 +50,39 @@ type pipeline_result = {
 (** Run [passes] over module [m]. When [verify_each] is set (default), the
     verifier runs after every pass and a failure is attributed to the pass
     that just ran. [instrumentations] fire around every pass execution
-    (timing, IR-change detection, dumps — see {!Instrument}). *)
-let run_pipeline ?(verify_each = true) ?(instrumentations = []) passes m =
-  let per_pass_stats = ref [] in
-  let per_pass_time = ref [] in
-  List.iter
-    (fun pass ->
-      let stats = Stats.create () in
-      Instrument.run_before instrumentations ~pass_name:pass.pass_name m;
-      let t0 = Unix.gettimeofday () in
-      pass.run m stats;
-      let dt = Unix.gettimeofday () -. t0 in
-      Instrument.run_after instrumentations ~pass_name:pass.pass_name m;
-      per_pass_stats := (pass.pass_name, stats) :: !per_pass_stats;
-      per_pass_time := (pass.pass_name, dt) :: !per_pass_time;
-      if verify_each then
-        match Verifier.verify m with
-        | Ok () -> ()
-        | Error diagnostics ->
-          raise (Pass_failed { pass = pass.pass_name; diagnostics }))
-    passes;
-  {
-    per_pass_stats = List.rev !per_pass_stats;
-    per_pass_time = List.rev !per_pass_time;
-  }
+    (timing, IR-change detection, dumps — see {!Instrument}).
+    [remarks_sink] scopes an optimization-remark sink to exactly this
+    pipeline ({!Remarks.with_sink}), so nested or concurrent pipelines
+    each keep their own stream. *)
+let run_pipeline ?(verify_each = true) ?(instrumentations = []) ?remarks_sink
+    passes m =
+  let go () =
+    let per_pass_stats = ref [] in
+    let per_pass_time = ref [] in
+    List.iter
+      (fun pass ->
+        let stats = Stats.create () in
+        Instrument.run_before instrumentations ~pass_name:pass.pass_name m;
+        let t0 = Unix.gettimeofday () in
+        pass.run m stats;
+        let dt = Unix.gettimeofday () -. t0 in
+        Instrument.run_after instrumentations ~pass_name:pass.pass_name m;
+        per_pass_stats := (pass.pass_name, stats) :: !per_pass_stats;
+        per_pass_time := (pass.pass_name, dt) :: !per_pass_time;
+        if verify_each then
+          match Verifier.verify m with
+          | Ok () -> ()
+          | Error diagnostics ->
+            raise (Pass_failed { pass = pass.pass_name; diagnostics }))
+      passes;
+    {
+      per_pass_stats = List.rev !per_pass_stats;
+      per_pass_time = List.rev !per_pass_time;
+    }
+  in
+  match remarks_sink with
+  | None -> go ()
+  | Some sink -> Remarks.with_sink sink go
 
 (** Merge the stats of every pass occurrence into one table keyed by
     "pass/stat". *)

@@ -37,10 +37,14 @@ type pipeline_result = {
 (** Run a pipeline over a module. With [verify_each] (default), the
     verifier runs after every pass and failures are attributed to the
     pass that just ran; [instrumentations] fire around every pass
-    execution (see {!Instrument}). *)
+    execution (see {!Instrument}). [remarks_sink] scopes an
+    optimization-remark sink to exactly this pipeline run
+    ({!Remarks.with_sink}): it is popped on the way out, so nested or
+    concurrent pipelines keep their own streams. *)
 val run_pipeline :
   ?verify_each:bool ->
   ?instrumentations:Instrument.t list ->
+  ?remarks_sink:(Remarks.t -> unit) ->
   t list ->
   Core.op ->
   pipeline_result

@@ -1,10 +1,10 @@
 (* Optimization remarks in the style of LLVM's -Rpass / -Rpass-missed /
    -Rpass-analysis: passes emit structured records saying what they did
    (Passed), what they wanted to do but could not, and why (Missed), and
-   what they learned (Analysis). Emission goes through a process-global
-   sink, mirroring LLVM's remark streamer: when no sink is installed,
-   [emit] is a near-no-op, so instrumented passes cost nothing in normal
-   compilation. *)
+   what they learned (Analysis). Emission goes through a domain-local
+   sink stack, mirroring LLVM's remark streamer: when no sink is
+   installed, [emit] is a near-no-op, so instrumented passes cost
+   nothing in normal compilation. *)
 
 type kind =
   | Passed
@@ -35,17 +35,37 @@ type t = {
 (* The sink                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let sink : (t -> unit) option ref = ref None
+(* The sink is a domain-local *stack*: [install] pushes, [uninstall]
+   pops its own sink — restoring the outer one. (The previous
+   implementation was a single global ref whose [uninstall] set [None]
+   unconditionally, so any nested pipeline silently stole and then
+   dropped the outer sink; and a ref shared across domains would let
+   parallel pipelines do the same to each other.) [emit] broadcasts to
+   every stacked sink, innermost first, so outer collectors keep seeing
+   remarks from nested scopes. Domain.DLS keys give each worker domain
+   an independent stack. *)
+let sinks_key : (t -> unit) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
-let enabled () = !sink <> None
+let enabled () = Domain.DLS.get sinks_key <> []
 
-let install f = sink := Some f
-let uninstall () = sink := None
+let install f = Domain.DLS.set sinks_key (f :: Domain.DLS.get sinks_key)
+
+let uninstall () =
+  match Domain.DLS.get sinks_key with
+  | [] -> ()
+  | _ :: rest -> Domain.DLS.set sinks_key rest
+
+(** Run [body] with [f] installed as the innermost sink; always pops it
+    on the way out, exceptions included. *)
+let with_sink f body =
+  install f;
+  Fun.protect ~finally:uninstall body
 
 let emit ~pass ~name kind ?op ?func message =
-  match !sink with
-  | None -> ()
-  | Some s ->
+  match Domain.DLS.get sinks_key with
+  | [] -> ()
+  | sinks ->
     let func =
       match (func, op) with
       | Some f, _ -> f
@@ -55,7 +75,7 @@ let emit ~pass ~name kind ?op ?func message =
         | None -> "?")
       | None, None -> "?"
     in
-    s
+    let r =
       {
         r_pass = pass;
         r_name = name;
@@ -64,21 +84,17 @@ let emit ~pass ~name kind ?op ?func message =
         r_op = (match op with Some o -> o.Core.name | None -> "");
         r_message = message;
       }
+    in
+    List.iter (fun s -> s r) sinks
 
 (** Run [f] with a collecting sink installed; returns [f ()]'s result and
-    the remarks emitted during it, in emission order. The previous sink
-    (if any) still receives every remark, so collectors nest. *)
+    the remarks emitted during it, in emission order. Outer sinks (if
+    any) still receive every remark — {!emit} broadcasts down the whole
+    stack — so collectors nest. *)
 let collect f =
-  let outer = !sink in
   let acc = ref [] in
-  install (fun r ->
-      acc := r :: !acc;
-      match outer with Some s -> s r | None -> ());
-  Fun.protect
-    ~finally:(fun () -> sink := outer)
-    (fun () ->
-      let result = f () in
-      (result, List.rev !acc))
+  let result = with_sink (fun r -> acc := r :: !acc) f in
+  (result, List.rev !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Text output (-Rpass style)                                          *)

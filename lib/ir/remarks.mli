@@ -3,8 +3,8 @@
     saying what they did ([Passed]), what they wanted to do but could
     not, and why ([Missed]), and what they learned ([Analysis]).
 
-    Emission goes through a process-global sink mirroring LLVM's remark
-    streamer: with no sink installed, {!emit} is a near-no-op, so
+    Emission goes through a domain-local sink stack mirroring LLVM's
+    remark streamer: with no sink installed, {!emit} is a near-no-op, so
     instrumented passes cost nothing in normal compilation. *)
 
 type kind =
@@ -24,12 +24,21 @@ type t = {
   r_message : string;  (** human-readable reason *)
 }
 
-(** Is a sink installed? Passes may use this to skip expensive message
-    construction. *)
+(** Is a sink installed (in this domain)? Passes may use this to skip
+    expensive message construction. *)
 val enabled : unit -> bool
 
+(** Sinks form a domain-local stack: {!install} pushes, {!uninstall}
+    pops — restoring the outer sink, so nested or concurrent pipelines
+    cannot steal or drop each other's sinks. {!emit} broadcasts to every
+    stacked sink, innermost first. *)
 val install : (t -> unit) -> unit
+
 val uninstall : unit -> unit
+
+(** [with_sink f body] runs [body] with [f] as the innermost sink,
+    popping it on the way out (exceptions included). *)
+val with_sink : (t -> unit) -> (unit -> 'a) -> 'a
 
 (** Emit a remark. The enclosing function name is derived from [op] when
     [func] is not given. No-op when no sink is installed. *)

@@ -71,6 +71,8 @@ type state = {
   launch_hook : (Core.op -> launch_info -> unit) option;
   jit_cycles_per_kernel : int;
   jitted : (string, unit) Hashtbl.t;
+  sim_domains : int option;  (* simulator backend knobs; None = defaults *)
+  check_races : bool option;
   recorder : Profile.recorder;
   mutable r_device : int;
   mutable r_launch : int;
@@ -144,11 +146,16 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
     | Some l -> l
     | None -> Sycl_core.Launch_policy.default_wg_size global
   in
+  (* All of this launch's charges are recorded into a private segment
+     and committed onto the run timeline in one step, so the charges of
+     one launch are contiguous and interleaved launches (nested runs,
+     parallel callers) cannot corrupt each other's timestamps. *)
+  let sg = Profile.segment () in
   (* Scheduler: dependency edges from the buffer/accessor model. *)
   let deps = Objects.dependencies_of h.Objects.h_captures in
   st.r_deps <- st.r_deps + List.length deps;
   st.r_sched <- st.r_sched + st.params.Cost.scheduler_cycles;
-  Profile.record st.recorder ~cat:"scheduler" ~name:"command-group"
+  Profile.record_seg sg ~cat:"scheduler" ~name:"command-group"
     ~args:[ ("dependency_edges", List.length deps) ]
     ~dur:st.params.Cost.scheduler_cycles ();
   (* Data movement + argument binding. *)
@@ -166,7 +173,7 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
         let b = a.Objects.acc_buffer in
         let dev, cost = Objects.ensure_on_device st.params b in
         st.r_transfer <- st.r_transfer + cost;
-        Profile.record st.recorder ~cat:"transfer"
+        Profile.record_seg sg ~cat:"transfer"
           ~name:("h2d:" ^ b.Objects.b_host.Memory.label) ~dur:cost ();
         (match a.Objects.acc_mode with
         | Sycl_types.Write | Sycl_types.Read_write -> b.Objects.b_device_dirty <- true
@@ -197,7 +204,7 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
               elems;
             let cost = Cost.transfer_cycles st.params ~elems in
             st.r_transfer <- st.r_transfer + cost;
-            Profile.record st.recorder ~cat:"transfer"
+            Profile.record_seg sg ~cat:"transfer"
               ~name:("h2d:" ^ host.Memory.label) ~dur:cost ();
             Hashtbl.replace st.device_copies host.Memory.aid d;
             d
@@ -210,7 +217,7 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   | Some hook when not (Hashtbl.mem st.jitted kernel_name) ->
     Hashtbl.replace st.jitted kernel_name ();
     st.r_jit <- st.r_jit + st.jit_cycles_per_kernel;
-    Profile.record st.recorder ~cat:"jit" ~name:("jit:" ^ kernel_name)
+    Profile.record_seg sg ~cat:"jit" ~name:("jit:" ^ kernel_name)
       ~dur:st.jit_cycles_per_kernel ();
     let pairs = ref [] in
     List.iteri
@@ -277,17 +284,19 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   let overhead = Cost.launch_overhead st.params ~live_args in
   st.r_launch <- st.r_launch + overhead;
   st.r_launch_count <- st.r_launch_count + 1;
-  Profile.record st.recorder ~cat:"launch" ~name:kernel_name
+  Profile.record_seg sg ~cat:"launch" ~name:kernel_name
     ~args:[ ("live_args", live_args) ] ~dur:overhead ();
   (* Execute on the device simulator. *)
   let stats =
-    Interp.launch ~params:st.params ~module_op:st.module_op ~kernel ~args
+    Interp.launch ~params:st.params ?domains:st.sim_domains
+      ?check_races:st.check_races ~module_op:st.module_op ~kernel ~args
       ~global ~wg_size:wg ()
   in
   let dev_cycles = Cost.device_cycles st.params stats in
   st.r_device <- st.r_device + dev_cycles;
-  Profile.record st.recorder ~cat:"kernel" ~name:kernel_name
+  Profile.record_seg sg ~cat:"kernel" ~name:kernel_name
     ~args:(Profile.breakdown st.params stats) ~dur:dev_cycles ();
+  Profile.commit st.recorder sg;
   st.r_per_kernel <- (kernel_name, stats) :: st.r_per_kernel;
   let cmd_id = q.Objects.q_next_cmd in
   q.Objects.q_next_cmd <- cmd_id + 1;
@@ -482,8 +491,9 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
 (** Execute host function [main] of [module_op]. [main_args.(i)] binds the
     i-th host argument, typically host data arrays wrapped as
     [Scalar (Interp.Mem view)]. *)
-let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0)
-    ~(module_op : Core.op) ?(main = "main") (main_args : hv list) : run_result =
+let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
+    ?check_races ~(module_op : Core.op) ?(main = "main") (main_args : hv list)
+    : run_result =
   let f =
     match Core.lookup_func module_op main with
     | Some f -> f
@@ -499,6 +509,8 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0)
       launch_hook;
       jit_cycles_per_kernel = jit_cycles;
       jitted = Hashtbl.create 4;
+      sim_domains;
+      check_races;
       recorder = Profile.recorder ();
       r_device = 0;
       r_launch = 0;

@@ -50,11 +50,17 @@ type run_result = {
 
 (** Execute host function [main] of the module. [launch_hook], when
     given, fires once per kernel at its first launch with the runtime
-    launch information; [jit_cycles] is charged at the same time. *)
+    launch information; [jit_cycles] is charged at the same time.
+    [sim_domains] and [check_races] are passed through to every
+    {!Interp.launch} (simulator backend selection and cross-group race
+    checking); when omitted the simulator's process-wide defaults
+    apply. *)
 val run :
   ?params:Cost.params ->
   ?launch_hook:(Core.op -> launch_info -> unit) ->
   ?jit_cycles:int ->
+  ?sim_domains:int ->
+  ?check_races:bool ->
   module_op:Core.op ->
   ?main:string ->
   hv list ->

@@ -76,6 +76,23 @@ let fresh_launch_stats () =
     total_wg_cycles = 0;
   }
 
+(** Merge [src] into [into]. Used by the parallel simulator backend:
+    each worker domain accumulates a private [launch_stats] and the
+    per-worker results are merged in canonical chunk order. Every field
+    is a sum except [max_wg_cycles] (a max), so the merged result is
+    identical to sequential accumulation whatever the chunking. *)
+let merge_launch_stats ~(into : launch_stats) (src : launch_stats) =
+  into.alu_ops <- into.alu_ops + src.alu_ops;
+  into.fdiv_ops <- into.fdiv_ops + src.fdiv_ops;
+  into.global_transactions <- into.global_transactions + src.global_transactions;
+  into.local_transactions <- into.local_transactions + src.local_transactions;
+  into.const_transactions <- into.const_transactions + src.const_transactions;
+  into.barriers <- into.barriers + src.barriers;
+  into.work_groups <- into.work_groups + src.work_groups;
+  into.work_items <- into.work_items + src.work_items;
+  into.max_wg_cycles <- max into.max_wg_cycles src.max_wg_cycles;
+  into.total_wg_cycles <- into.total_wg_cycles + src.total_wg_cycles
+
 (** Device time of a launch: work-groups spread across compute units. *)
 let device_cycles (p : params) (s : launch_stats) =
   if s.work_groups = 0 then 0

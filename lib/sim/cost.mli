@@ -42,6 +42,11 @@ type launch_stats = {
 
 val fresh_launch_stats : unit -> launch_stats
 
+(** Merge [src] into [into]: sums everywhere except [max_wg_cycles]
+    (max). Commutative and associative, so the parallel backend's
+    per-worker accumulators merge to exactly the sequential totals. *)
+val merge_launch_stats : into:launch_stats -> launch_stats -> unit
+
 (** Device time of a launch: work-groups spread across compute units,
     floored at the slowest work-group. *)
 val device_cycles : params -> launch_stats -> int

@@ -61,6 +61,8 @@ let as_acc = function Acc a -> a | _ -> raise (Sim_error "expected accessor valu
 type wg_ctx = {
   params : Cost.params;
   stats : Cost.launch_stats;
+  footprint : Memory.footprint option;
+      (* per-group global-write footprint, recorded under --sim-check-races *)
   locals : (int, Memory.allocation) Hashtbl.t;  (* gpu.alloc_local slot *)
   (* (op id, occurrence, subgroup) -> set of (alloc id, line, class) *)
   mem_table : (int * int * int, (int * int * int, unit) Hashtbl.t) Hashtbl.t;
@@ -119,6 +121,13 @@ let record_access ctx (op : Core.op) (view : Memory.view) (idx : int list) =
     in
     let a = view.Memory.base in
     Hashtbl.replace tbl (a.Memory.aid, line, latency_class a) ()
+
+(* Record a store into the group's write footprint (race detection).
+   Only global-space writes are kept — see {!Memory.footprint_write}. *)
+let record_store ctx (view : Memory.view) (idx : int list) =
+  match ctx.wg.footprint with
+  | None -> ()
+  | Some fp -> Memory.footprint_write fp view (Memory.linear_index view idx)
 
 (* ------------------------------------------------------------------ *)
 (* SYCL struct storage helpers                                         *)
@@ -323,6 +332,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
         (List.filteri (fun i _ -> i >= 2) (Core.operands op))
     in
     record_access ctx op view idx;
+    record_store ctx view idx;
     Memory.write view idx (cell_of_rv value);
     `Next
   | "memref.dim" ->
@@ -363,6 +373,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     in
     let idx = Affine_expr.Map.eval m ~dims ~syms:[||] in
     record_access ctx op view idx;
+    record_store ctx view idx;
     Memory.write view idx (cell_of_rv value);
     `Next
   | "scf.for" ->
@@ -583,12 +594,88 @@ let flush_wg (wg : wg_ctx) (n_items : int) =
   s.Cost.total_wg_cycles <- s.Cost.total_wg_cycles + wg_cycles;
   if wg_cycles > s.Cost.max_wg_cycles then s.Cost.max_wg_cycles <- wg_cycles
 
+(* ------------------------------------------------------------------ *)
+(* Cross-group race detection                                          *)
+(* ------------------------------------------------------------------ *)
+
+type race = {
+  r_label : string;
+  r_aid : int;
+  r_cell : int;
+  r_group_a : int;
+  r_group_b : int;
+}
+
+exception Race_detected of race list
+
+let describe_race (r : race) =
+  Printf.sprintf "work-groups %d and %d both write %s[%d] (allocation %d)"
+    r.r_group_a r.r_group_b
+    (if r.r_label = "" then "?" else r.r_label)
+    r.r_cell r.r_aid
+
+(* Intersect per-group footprints in canonical group order: the first
+   writer of each (allocation, cell) is remembered; any later writer is
+   a violation of SYCL's inter-group independence. Footprint cells are
+   sorted and groups are walked in order, so the report is deterministic
+   whatever the execution schedule was. *)
+let detect_races (fps : Memory.footprint array) : race list =
+  let first_writer : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let races = ref [] in
+  Array.iteri
+    (fun g fp ->
+      List.iter
+        (fun ((aid, cell) as key) ->
+          match Hashtbl.find_opt first_writer key with
+          | None -> Hashtbl.replace first_writer key g
+          | Some g0 ->
+            races :=
+              { r_label = Memory.footprint_label fp aid; r_aid = aid;
+                r_cell = cell; r_group_a = g0; r_group_b = g }
+              :: !races)
+        (Memory.footprint_cells fp))
+    fps;
+  List.rev !races
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide defaults behind the --sim-domains / --sim-check-races
+   CLI flags, so entry points configure the backend once instead of
+   threading parameters through every call site. *)
+let domains_default =
+  (* SYCL_SIM_DOMAINS overrides the recommended count so a whole test or
+     CI run can be forced onto the parallel backend without plumbing a
+     flag through every entry point. *)
+  let initial =
+    match Option.bind (Sys.getenv_opt "SYCL_SIM_DOMAINS") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ()
+  in
+  Atomic.make initial
+let set_default_domains n = Atomic.set domains_default (max 1 n)
+let default_domain_count () = Atomic.get domains_default
+let check_races_default = Atomic.make false
+let set_default_check_races b = Atomic.set check_races_default b
+let default_check_races () = Atomic.get check_races_default
+
 (** Launch [kernel] over [global]/[wg_size]. [args.(i)] binds kernel
     argument i; the item-like argument must be bound to [Item]. Returns
     the accumulated launch statistics. *)
-let launch ?(params = Cost.default) ~(module_op : Core.op) ~(kernel : Core.op)
-    ~(args : rv array) ~(global : int list) ~(wg_size : int list) () :
-    Cost.launch_stats =
+let launch ?(params = Cost.default) ?domains ?check_races
+    ~(module_op : Core.op) ~(kernel : Core.op) ~(args : rv array)
+    ~(global : int list) ~(wg_size : int list) () : Cost.launch_stats =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Atomic.get domains_default
+  in
+  let check_races =
+    match check_races with
+    | Some b -> b
+    | None -> Atomic.get check_races_default
+  in
   let stats = Cost.fresh_launch_stats () in
   let global = Array.of_list global and wg_size = Array.of_list wg_size in
   let nd = Array.length global in
@@ -620,12 +707,23 @@ let launch ?(params = Cost.default) ~(module_op : Core.op) ~(kernel : Core.op)
     done;
     idx
   in
-  for g = 0 to n_groups - 1 do
+  let footprints =
+    if check_races then
+      Some (Array.init n_groups (fun _ -> Memory.footprint ()))
+    else None
+  in
+  (* Execute one work-group, accumulating into [into] (the launch stats
+     in the sequential backend, a worker-private record in the parallel
+     one — group results are independent, so where they accumulate only
+     affects scheduling, never the merged totals). *)
+  let run_group (into : Cost.launch_stats) (g : int) =
     let grp = unflatten group_range g in
     let wg =
       {
         params;
-        stats;
+        stats = into;
+        footprint =
+          (match footprints with Some a -> Some a.(g) | None -> None);
         locals = Hashtbl.create 4;
         mem_table = Hashtbl.create 256;
         wg_alu = 0;
@@ -667,5 +765,60 @@ let launch ?(params = Cost.default) ~(module_op : Core.op) ~(kernel : Core.op)
     in
     run_workgroup wg thunks;
     flush_wg wg items_per_group
-  done;
+  in
+  let d = min domains n_groups in
+  if d <= 1 then
+    (* Sequential backend: groups in canonical order into the shared
+       stats record. *)
+    for g = 0 to n_groups - 1 do
+      run_group stats g
+    done
+  else begin
+    (* Parallel backend: balanced contiguous chunks of the canonical
+       group order, one worker domain per chunk. Each worker accumulates
+       a private launch_stats and stops its chunk at the first failing
+       group, exactly as the sequential loop stops the launch. Merging
+       worker stats in chunk order and re-raising the lowest failing
+       group's exception makes stats and error identity independent of
+       the interleaving. *)
+    let q = n_groups / d and r = n_groups mod d in
+    let chunk i =
+      let start = (i * q) + min i r in
+      (start, start + q + if i < r then 1 else 0)
+    in
+    let run_chunk i =
+      let s = Cost.fresh_launch_stats () in
+      let failure = ref None in
+      let start, stop = chunk i in
+      let g = ref start in
+      (try
+         while !g < stop do
+           run_group s !g;
+           incr g
+         done
+       with e -> failure := Some (!g, e));
+      (s, !failure)
+    in
+    let workers =
+      Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run_chunk (i + 1)))
+    in
+    let first = run_chunk 0 in
+    let results = Array.append [| first |] (Array.map Domain.join workers) in
+    Array.iter (fun (s, _) -> Cost.merge_launch_stats ~into:stats s) results;
+    let first_failure =
+      Array.fold_left
+        (fun acc (_, f) ->
+          match (acc, f) with
+          | None, f -> f
+          | Some (g0, _), Some (g, _) when g < g0 -> f
+          | acc, _ -> acc)
+        None results
+    in
+    match first_failure with Some (_, e) -> raise e | None -> ()
+  end;
+  (match footprints with
+  | Some fps ->
+    let races = detect_races fps in
+    if races <> [] then raise (Race_detected races)
+  | None -> ());
   stats

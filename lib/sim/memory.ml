@@ -19,9 +19,12 @@ type allocation = {
   label : string;
 }
 
-let next_aid =
-  let c = ref 0 in
-  fun () -> incr c; !c
+(* Atomic: the parallel simulator backend allocates work-group-local
+   memory from several domains at once; racy increments could hand two
+   allocations the same id, corrupting the coalescing tables. *)
+let aid_counter = Atomic.make 0
+
+let next_aid () = Atomic.fetch_and_add aid_counter 1 + 1
 
 let alloc ?(label = "") ?(space = Types.Global) ~(size : int) () =
   { aid = next_aid (); space; data = Array.make (max size 1) (F 0.0);
@@ -80,3 +83,40 @@ let cell_to_int = function I i -> i | F f -> int_of_float f
 let blit ~(src : view) ~(dst : view) n =
   let si = src.offset and di = dst.offset in
   Array.blit src.base.data si dst.base.data di n
+
+(* ------------------------------------------------------------------ *)
+(* Write footprints (cross-group race detection)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The set of global-memory cells a work-group wrote, at element
+    granularity, plus the labels of the allocations it touched (for
+    reporting). Work-groups of one SYCL kernel must write disjoint
+    global locations — the race detector intersects these footprints. *)
+type footprint = {
+  fp_cells : (int * int, unit) Hashtbl.t;  (** (allocation id, cell) *)
+  fp_labels : (int, string) Hashtbl.t;  (** allocation id -> label *)
+}
+
+let footprint () = { fp_cells = Hashtbl.create 64; fp_labels = Hashtbl.create 4 }
+
+(** Record a write of cell [lin] (a {!linear_index} result) through [v].
+    Only global-space writes are footprinted: local and private memory
+    are per-group / per-item by construction. *)
+let footprint_write (fp : footprint) (v : view) (lin : int) =
+  match v.base.space with
+  | Types.Global ->
+    let aid = v.base.aid in
+    Hashtbl.replace fp.fp_cells (aid, lin) ();
+    if not (Hashtbl.mem fp.fp_labels aid) then
+      Hashtbl.replace fp.fp_labels aid v.base.label
+  | Types.Local | Types.Private -> ()
+
+(** Footprinted cells, sorted by (allocation id, cell) so reports are
+    deterministic regardless of hash-table iteration order. *)
+let footprint_cells (fp : footprint) : (int * int) list =
+  Hashtbl.fold (fun k () acc -> k :: acc) fp.fp_cells []
+  |> List.sort (fun (a1, c1) (a2, c2) ->
+         match Int.compare a1 a2 with 0 -> Int.compare c1 c2 | n -> n)
+
+let footprint_label (fp : footprint) aid =
+  Option.value ~default:"?" (Hashtbl.find_opt fp.fp_labels aid)

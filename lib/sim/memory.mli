@@ -53,3 +53,24 @@ val cell_to_int : cell -> int
 
 (** Copy [n] elements between allocations (host<->device transfers). *)
 val blit : src:view -> dst:view -> int -> unit
+
+(** {1 Write footprints}
+
+    Element-granular record of the global-memory cells one work-group
+    wrote, used by the simulator's cross-group race detector: SYCL
+    work-groups of a kernel must write disjoint global locations. *)
+
+type footprint
+
+val footprint : unit -> footprint
+
+(** Record a write of cell [lin] (a {!linear_index} result) through the
+    view. Only global-space writes are recorded. *)
+val footprint_write : footprint -> view -> int -> unit
+
+(** The footprinted (allocation id, cell) pairs, sorted — deterministic
+    regardless of insertion order. *)
+val footprint_cells : footprint -> (int * int) list
+
+(** Label of a footprinted allocation (["?"] when unknown). *)
+val footprint_label : footprint -> int -> string

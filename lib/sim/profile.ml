@@ -21,27 +21,61 @@ type event = {
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Records events on a single simulated timeline: each recorded event
-    starts at the current clock and advances it — the host runtime is
-    in-order, so charges simply concatenate. *)
+(** A per-launch recording segment: events carry timestamps relative to
+    the segment start. A launch records into a private segment and the
+    whole segment is committed onto the shared recorder timeline in one
+    step, so two interleaved launches (nested [run]s, parallel worker
+    domains) can no longer corrupt each other's clock. *)
+type segment = {
+  mutable sg_clock : int;  (** relative to segment start *)
+  mutable sg_rev : event list;  (** newest first, relative timestamps *)
+}
+
+let segment () = { sg_clock = 0; sg_rev = [] }
+
+let record_seg (sg : segment) ~(cat : string) ~(name : string)
+    ?(args = []) ~(dur : int) () =
+  if dur > 0 then begin
+    sg.sg_rev <-
+      { ev_name = name; ev_cat = cat; ev_ts = sg.sg_clock; ev_dur = dur;
+        ev_args = args }
+      :: sg.sg_rev;
+    sg.sg_clock <- sg.sg_clock + dur
+  end
+
+(** Records events on a single simulated timeline: each committed
+    segment starts at the current clock and advances it — the host
+    runtime is in-order, so charges simply concatenate. The mutex makes
+    commits atomic under concurrent recording. *)
 type recorder = {
+  rc_mutex : Mutex.t;
   mutable rc_clock : int;
   mutable rc_rev : event list;  (** newest first *)
 }
 
-let recorder () = { rc_clock = 0; rc_rev = [] }
+let recorder () = { rc_mutex = Mutex.create (); rc_clock = 0; rc_rev = [] }
 
+(** Shift [sg]'s events onto the recorder clock and append them, then
+    advance the clock by the segment's span — atomically. *)
+let commit (r : recorder) (sg : segment) =
+  Mutex.protect r.rc_mutex (fun () ->
+      let base = r.rc_clock in
+      (* sg_rev is newest first; walking it oldest-first while consing
+         keeps rc_rev newest first. *)
+      List.iter
+        (fun e -> r.rc_rev <- { e with ev_ts = base + e.ev_ts } :: r.rc_rev)
+        (List.rev sg.sg_rev);
+      r.rc_clock <- base + sg.sg_clock)
+
+(** One-shot convenience: a single event committed immediately. *)
 let record (r : recorder) ~(cat : string) ~(name : string)
     ?(args = []) ~(dur : int) () =
-  if dur > 0 then begin
-    r.rc_rev <-
-      { ev_name = name; ev_cat = cat; ev_ts = r.rc_clock; ev_dur = dur;
-        ev_args = args }
-      :: r.rc_rev;
-    r.rc_clock <- r.rc_clock + dur
-  end
+  let sg = segment () in
+  record_seg sg ~cat ~name ~args ~dur ();
+  commit r sg
 
-let events (r : recorder) = List.rev r.rc_rev
+let events (r : recorder) =
+  Mutex.protect r.rc_mutex (fun () -> List.rev r.rc_rev)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel event payload                                                *)

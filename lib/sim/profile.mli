@@ -14,17 +14,37 @@ type event = {
   ev_args : (string * int) list;
 }
 
-(** Records events on a single simulated timeline: each event starts at
-    the current clock and advances it (the host runtime is in-order). *)
-type recorder = {
-  mutable rc_clock : int;
-  mutable rc_rev : event list;  (** newest first *)
-}
+(** A per-launch recording segment: timestamps are relative to the
+    segment start. Record a launch's charges into a private segment and
+    {!commit} it, so interleaved launches (nested runs, parallel worker
+    domains) cannot corrupt each other's timeline. *)
+type segment
+
+val segment : unit -> segment
+
+(** Append an event at the segment's current relative clock and advance
+    it by [dur]. Zero-duration charges are dropped. *)
+val record_seg :
+  segment ->
+  cat:string ->
+  name:string ->
+  ?args:(string * int) list ->
+  dur:int ->
+  unit ->
+  unit
+
+(** Records committed segments on a single simulated timeline: each
+    commit starts at the current clock and advances it (the host
+    runtime is in-order). Thread-safe. *)
+type recorder
 
 val recorder : unit -> recorder
 
-(** Append an event at the current clock and advance it by [dur].
-    Zero-duration charges are dropped. *)
+(** Atomically shift the segment onto the recorder clock, append its
+    events, and advance the clock by the segment's span. *)
+val commit : recorder -> segment -> unit
+
+(** One-shot convenience: a single event committed immediately. *)
 val record :
   recorder ->
   cat:string ->

@@ -98,6 +98,78 @@ let check ?(tol = 1e-3) (w : Common.workload) : (unit, divergence) result =
     else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* Oracle (d): sequential vs. parallel simulator determinism           *)
+(* ------------------------------------------------------------------ *)
+
+(* Render everything observable about a run — cost counters, per-kernel
+   launch statistics, the profile timeline, and every output buffer
+   bit-for-bit (hex floats) — so any divergence between the sequential
+   and parallel simulator backends shows up as a byte difference. *)
+let run_digest (w : Common.workload) ~(domains : int) : string =
+  let module H = Common.Host_interp in
+  let module P = Sycl_sim.Profile in
+  let m = w.Common.w_module () in
+  ignore (Pass.run_pipeline ~verify_each:false (full_pipeline ()) m);
+  let args, validate = w.Common.w_data () in
+  let r = H.run ~sim_domains:domains ~module_op:m args in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "total=%d device=%d launch=%d transfer=%d sched=%d jit=%d \
+        launches=%d deps=%d valid=%b\n"
+       r.H.total_cycles r.H.device_cycles r.H.launch_overhead_cycles
+       r.H.transfer_cycles r.H.scheduler_cycles r.H.jit_cycles
+       r.H.kernel_launches r.H.dependency_edges (validate ()));
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Format.asprintf "%s: %a\n" name Common.Cost.pp_launch_stats s))
+    r.H.per_kernel;
+  List.iter
+    (fun (e : P.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ev %s/%s ts=%d dur=%d%s\n" e.P.ev_cat e.P.ev_name
+           e.P.ev_ts e.P.ev_dur
+           (String.concat ""
+              (List.map
+                 (fun (k, v) -> Printf.sprintf " %s=%d" k v)
+                 e.P.ev_args))))
+    r.H.events;
+  List.iteri
+    (fun i hv ->
+      match hv with
+      | H.Scalar (Common.Interp.Mem view) ->
+        Buffer.add_string buf (Printf.sprintf "buf %d:" i);
+        Array.iter
+          (fun c ->
+            Buffer.add_string buf
+              (Printf.sprintf " %h" (Common.Memory.cell_to_float c)))
+          view.Common.Memory.base.Common.Memory.data;
+        Buffer.add_char buf '\n'
+      | _ -> ())
+    args;
+  Buffer.contents buf
+
+(** Sequential-vs-parallel determinism: the full run digest under
+    [domains] worker domains must be byte-identical to the sequential
+    backend's. Used by the fuzz loop and the parallel-sim tests. *)
+let check_parallel ?(domains = 4) (w : Common.workload) :
+    (unit, Difftest.failure) result =
+  match (run_digest w ~domains:1, run_digest w ~domains) with
+  | exception e ->
+    Error
+      {
+        Difftest.f_oracle = "determinism";
+        f_detail =
+          Printf.sprintf "%s: execution raised %s" w.Common.w_name
+            (Printexc.to_string e);
+        f_ir = None;
+      }
+  | reference, subject ->
+    Difftest.check_deterministic ~oracle:"determinism"
+      ~what:(w.Common.w_name ^ " run digest") ~reference ~subject ()
+
+(* ------------------------------------------------------------------ *)
 (* Randomized workload selection for the fuzz loop                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -1,0 +1,245 @@
+(* Parallel multi-domain simulator backend: sequential-vs-parallel
+   equivalence (stats, memory, profile), the cross-group race detector,
+   identical error reporting under both backends, and the per-launch
+   profile segments. *)
+
+open Mlir
+module A = Dialects.Arith
+module K = Sycl_frontend.Kernel
+module S = Sycl_core.Sycl_types
+module Interp = Sycl_sim.Interp
+module Memory = Sycl_sim.Memory
+module Cost = Sycl_sim.Cost
+module Profile = Sycl_sim.Profile
+
+let acc_desc ?(range = [| 16 |]) alloc =
+  Interp.Acc
+    {
+      Interp.a_alloc = alloc;
+      a_range = range;
+      a_mem_range = range;
+      a_offset = Array.map (fun _ -> 0) range;
+      a_is_float = true;
+    }
+
+let launch ?(wg = [ 16 ]) ?(global = [ 64 ]) ?domains ?check_races m k args =
+  Interp.launch ?domains ?check_races ~module_op:m ~kernel:k ~args ~global
+    ~wg_size:wg ()
+
+let floats alloc =
+  Array.map
+    (function Memory.F f -> f | Memory.I i -> float_of_int i)
+    alloc.Memory.data
+
+let stats_str s = Format.asprintf "%a" Cost.pp_launch_stats s
+
+(* A small matmul: c[i,j] = sum_k a[i,k] * b[k,j]. *)
+let matmul_kernel m ~n =
+  Sycl_frontend.Kernel.define m ~name:"matmul" ~dims:2
+    ~args:
+      [ K.Acc (2, S.Read, Types.f32); K.Acc (2, S.Read, Types.f32);
+        K.Acc (2, S.Write, Types.f32) ]
+    (fun b ~item ~args ->
+      match args with
+      | [ a; bm; c ] ->
+        let i = K.gid b item 0 and j = K.gid b item 1 in
+        let zero = A.const_index b 0 in
+        let one = A.const_index b 1 in
+        let nn = A.const_index b n in
+        let loop =
+          Dialects.Scf.for_ b ~lb:zero ~ub:nn ~step:one
+            ~iter_args:[ K.fconst b 0.0 ]
+            (fun bb kk acc ->
+              let av = K.acc_get bb a [ i; kk ] in
+              let bv = K.acc_get bb bm [ kk; j ] in
+              [ K.addf bb (List.hd acc) (K.mulf bb av bv) ])
+        in
+        K.acc_set b c [ i; j ] (Core.result loop 0)
+      | _ -> assert false)
+
+(* The barrier stencil from the simulator tests: each item writes
+   tile[lid], barriers, then reads the mirrored slot. *)
+let stencil_kernel m =
+  Sycl_frontend.Kernel.define m ~name:"rev" ~dims:1 ~nd:true
+    ~args:[ K.Acc (1, S.Write, Types.f32) ]
+    (fun b ~item ~args ->
+      let out = List.hd args in
+      let lid = K.lid b item 0 in
+      let gid = K.gid b item 0 in
+      let tile = Dialects.Gpu.alloc_local b [ 16 ] Types.f32 in
+      let v = A.sitofp b (A.index_cast b lid Types.i64) Types.f32 in
+      Dialects.Memref.store b v tile [ lid ];
+      Dialects.Gpu.barrier b;
+      let fifteen = A.const_index b 15 in
+      let mirror = A.subi b fifteen lid in
+      K.acc_set b out [ gid ] (Dialects.Memref.load b tile [ mirror ]))
+
+let tests_list =
+  [
+    Alcotest.test_case "matmul: parallel stats and memory match sequential"
+      `Quick (fun () ->
+        let n = 8 in
+        let run domains =
+          let m = Helpers.fresh_module () in
+          let k = matmul_kernel m ~n in
+          let a = Memory.alloc ~label:"a" ~size:(n * n) () in
+          let b = Memory.alloc ~label:"b" ~size:(n * n) () in
+          let c = Memory.alloc ~label:"c" ~size:(n * n) () in
+          Array.iteri
+            (fun i _ -> a.Memory.data.(i) <- Memory.F (float_of_int (i mod 7)))
+            a.Memory.data;
+          Array.iteri
+            (fun i _ -> b.Memory.data.(i) <- Memory.F (float_of_int (i mod 5)))
+            b.Memory.data;
+          let range = [| n; n |] in
+          let stats =
+            launch ~global:[ n; n ] ~wg:[ 4; 4 ] ~domains m k
+              [| Interp.Item; acc_desc ~range a; acc_desc ~range b;
+                 acc_desc ~range c |]
+          in
+          (stats_str stats, floats c)
+        in
+        let seq_stats, seq_c = run 1 in
+        let par_stats, par_c = run 4 in
+        Alcotest.(check string) "identical stats" seq_stats par_stats;
+        Array.iteri
+          (fun i x -> Alcotest.(check (float 0.0)) "identical memory" seq_c.(i) x)
+          par_c);
+    Alcotest.test_case "barrier stencil: parallel matches sequential" `Quick
+      (fun () ->
+        let run domains =
+          let m = Helpers.fresh_module () in
+          let k = stencil_kernel m in
+          let c = Memory.alloc ~label:"c" ~size:64 () in
+          let stats =
+            launch ~global:[ 64 ] ~wg:[ 16 ] ~domains m k
+              [| Interp.Item; acc_desc ~range:[| 64 |] c |]
+          in
+          (stats_str stats, floats c)
+        in
+        let seq_stats, seq_c = run 1 in
+        let par_stats, par_c = run 4 in
+        Alcotest.(check string) "identical stats (incl. barriers)" seq_stats
+          par_stats;
+        Array.iteri
+          (fun i x -> Alcotest.(check (float 0.0)) "identical memory" seq_c.(i) x)
+          par_c;
+        (* Sanity: the stencil really computes the mirrored local id. *)
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check (float 1e-6)) "mirror"
+              (float_of_int (15 - (i mod 16)))
+              x)
+          par_c);
+    Alcotest.test_case "more domains than groups degrades gracefully" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k = stencil_kernel m in
+        let c = Memory.alloc ~label:"c" ~size:32 () in
+        let stats =
+          launch ~global:[ 32 ] ~wg:[ 16 ] ~domains:16 m k
+            [| Interp.Item; acc_desc ~range:[| 32 |] c |]
+        in
+        Alcotest.(check int) "2 work-groups" 2 stats.Cost.work_groups;
+        Alcotest.(check int) "32 work-items" 32 stats.Cost.work_items);
+    Alcotest.test_case "racy kernel caught by the race detector" `Quick
+      (fun () ->
+        (* Every work-item of every group writes out[0]: the two groups'
+           footprints overlap on cell 0. *)
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"racy" ~dims:1
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let _i = K.gid b item 0 in
+              K.acc_set b out [ A.const_index b 0 ] (K.fconst b 1.0))
+        in
+        let c = Memory.alloc ~label:"out" ~size:32 () in
+        match
+          launch ~global:[ 32 ] ~wg:[ 16 ] ~check_races:true m k
+            [| Interp.Item; acc_desc ~range:[| 32 |] c |]
+        with
+        | _ -> Alcotest.fail "expected Race_detected"
+        | exception Interp.Race_detected races ->
+          Alcotest.(check bool) "at least one race" true (races <> []);
+          let r = List.hd races in
+          Alcotest.(check int) "cell 0" 0 r.Interp.r_cell;
+          Alcotest.(check int) "group 0 first" 0 r.Interp.r_group_a;
+          Alcotest.(check int) "group 1 second" 1 r.Interp.r_group_b;
+          Alcotest.(check string) "names the buffer" "out" r.Interp.r_label);
+    Alcotest.test_case "race-free kernel passes the race detector" `Quick
+      (fun () ->
+        let m = Helpers.fresh_module () in
+        let k =
+          Sycl_frontend.Kernel.define m ~name:"ok" ~dims:1
+            ~args:[ K.Acc (1, S.Write, Types.f32) ]
+            (fun b ~item ~args ->
+              let out = List.hd args in
+              let i = K.gid b item 0 in
+              K.acc_set b out [ i ] (K.fconst b 1.0))
+        in
+        let c = Memory.alloc ~label:"out" ~size:64 () in
+        let stats =
+          launch ~global:[ 64 ] ~wg:[ 16 ] ~check_races:true ~domains:4 m k
+            [| Interp.Item; acc_desc ~range:[| 64 |] c |]
+        in
+        Alcotest.(check int) "4 work-groups" 4 stats.Cost.work_groups);
+    Alcotest.test_case "divergent barrier fails identically under both backends"
+      `Quick (fun () ->
+        let diverges domains =
+          let m = Helpers.fresh_module () in
+          let k =
+            Sycl_frontend.Kernel.define m ~name:"bad" ~dims:1 ~nd:true ~args:[]
+              (fun b ~item ~args:_ ->
+                let lid = K.lid b item 0 in
+                let zero = A.const_index b 0 in
+                let c = A.cmpi b A.Eq lid zero in
+                ignore
+                  (Dialects.Scf.if_ b c
+                     ~then_:(fun bb ->
+                       Dialects.Gpu.barrier bb;
+                       [])
+                     ()))
+          in
+          match launch ~global:[ 64 ] ~wg:[ 16 ] ~domains m k [| Interp.Item |] with
+          | _ -> false
+          | exception Interp.Barrier_divergence -> true
+        in
+        Alcotest.(check bool) "sequential raises Barrier_divergence" true
+          (diverges 1);
+        Alcotest.(check bool) "parallel raises Barrier_divergence" true
+          (diverges 4));
+    Alcotest.test_case "gemm run digest identical under 4 domains" `Quick
+      (fun () ->
+        match
+          Sycl_workloads.Differential.check_parallel ~domains:4
+            (Sycl_workloads.Polybench.gemm ~n:16)
+        with
+        | Ok () -> ()
+        | Error f -> Alcotest.fail (Difftest.failure_to_string f));
+    Alcotest.test_case "profile segments commit atomically and in order" `Quick
+      (fun () ->
+        let r = Profile.recorder () in
+        let s1 = Profile.segment () and s2 = Profile.segment () in
+        (* Interleaved recording into two segments — the old shared-clock
+           recorder would interleave the timestamps. *)
+        Profile.record_seg s1 ~cat:"launch" ~name:"a" ~dur:5 ();
+        Profile.record_seg s2 ~cat:"launch" ~name:"b" ~dur:3 ();
+        Profile.record_seg s1 ~cat:"kernel" ~name:"a" ~dur:2 ();
+        Profile.commit r s1;
+        Profile.commit r s2;
+        match Profile.events r with
+        | [ e1; e2; e3 ] ->
+          Alcotest.(check string) "a first" "a" e1.Profile.ev_name;
+          Alcotest.(check int) "a starts at 0" 0 e1.Profile.ev_ts;
+          Alcotest.(check int) "a kernel follows" 5 e2.Profile.ev_ts;
+          Alcotest.(check string) "b after a" "b" e3.Profile.ev_name;
+          Alcotest.(check int) "b shifted past a's span" 7 e3.Profile.ev_ts;
+          Alcotest.(check int) "clock advanced by both spans" 3
+            e3.Profile.ev_dur
+        | evs ->
+          Alcotest.failf "expected 3 events, got %d" (List.length evs));
+  ]
+
+let tests = ("parallel-sim", tests_list)

@@ -122,6 +122,46 @@ let tests_list =
         in
         Alcotest.(check int) "inner sees it" 1 (List.length inner);
         Alcotest.(check int) "outer sees it too" 1 (List.length outer));
+    Alcotest.test_case "uninstall restores the outer sink" `Quick (fun () ->
+        (* Regression: with a single global sink ref, a nested
+           install/uninstall pair dropped the outer sink entirely. *)
+        let outer = ref 0 and inner = ref 0 in
+        Remarks.install (fun _ -> incr outer);
+        Remarks.install (fun _ -> incr inner);
+        Remarks.emit ~pass:"p" ~name:"n" Remarks.Passed ~func:"f" "nested";
+        Remarks.uninstall ();
+        Alcotest.(check bool) "outer still enabled" true (Remarks.enabled ());
+        Remarks.emit ~pass:"p" ~name:"n" Remarks.Passed ~func:"f" "after";
+        Remarks.uninstall ();
+        Alcotest.(check bool) "all uninstalled" false (Remarks.enabled ());
+        Alcotest.(check int) "inner saw only the nested emission" 1 !inner;
+        Alcotest.(check int) "outer saw both" 2 !outer);
+    Alcotest.test_case "nested pipeline keeps its own remark sink" `Quick
+      (fun () ->
+        (* A pass that itself runs a sub-pipeline with its own sink must
+           not steal or drop the enclosing pipeline's sink. *)
+        let m = Helpers.fresh_module () in
+        let emit_pass tag =
+          Pass.make ("emit-" ^ tag) (fun _ _ ->
+              Remarks.emit ~pass:("emit-" ^ tag) ~name:"n" Remarks.Passed
+                ~func:"f" tag)
+        in
+        let outer = ref [] and inner = ref [] in
+        let nested =
+          Pass.make "nested" (fun m _ ->
+              ignore
+                (Pass.run_pipeline ~verify_each:false
+                   ~remarks_sink:(fun r -> inner := r :: !inner)
+                   [ emit_pass "inner" ] m))
+        in
+        ignore
+          (Pass.run_pipeline ~verify_each:false
+             ~remarks_sink:(fun r -> outer := r :: !outer)
+             [ emit_pass "before"; nested; emit_pass "after" ] m);
+        Alcotest.(check int) "inner saw one remark" 1 (List.length !inner);
+        Alcotest.(check int) "outer saw all three" 3 (List.length !outer);
+        Alcotest.(check bool) "no sink left installed" false
+          (Remarks.enabled ()));
   ]
 
 let tests = ("remarks", tests_list)
