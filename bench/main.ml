@@ -308,12 +308,19 @@ let run_fuzz () =
   in
   let roundtrip_runs = ref 0 and diff_runs = ref 0 in
   for i = 0 to !iters - 1 do
-    (* Oracle (a) on a fresh random module. *)
+    (* Oracle (a) on a fresh random module — once in the default form and
+       once under --mlir-print-debuginfo, so the loc(...) syntax is
+       fuzzed too (the generator attaches random nested locations). *)
     incr roundtrip_runs;
     let g = Mlir.Irgen.create (!seed + i) in
-    (match Mlir.Difftest.check_roundtrip (Mlir.Irgen.gen_module g) with
+    let m = Mlir.Irgen.gen_module g in
+    (match Mlir.Difftest.check_roundtrip m with
     | Ok () -> ()
     | Error f -> record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+    (match Mlir.Difftest.check_roundtrip ~debuginfo:true m with
+    | Ok () -> ()
+    | Error f ->
+      record i (f.Mlir.Difftest.f_oracle ^ "-debuginfo") f.Mlir.Difftest.f_detail);
     (* Oracles (b) and (c) on a randomized workload, every diff-every
        iterations (they execute the simulator, so they are costly). *)
     if i mod !diff_every = 0 then begin

@@ -16,7 +16,8 @@
                          annotates the IR with sycl.* attributes and
                          reports to stderr
      --dump-after=P      print the IR after pass P ("all" for every pass)
-     --dump-before=P     likewise, before *)
+     --dump-before=P     likewise, before
+     --mlir-print-debuginfo  print a trailing loc(...) on every op *)
 
 open Cmdliner
 module Driver = Sycl_core.Driver
@@ -50,6 +51,7 @@ let resolve_pipeline names =
   List.concat_map
     (fun name ->
       match name with
+      | "none" -> []  (* empty pipeline: parse, verify, print *)
       | "sycl-mlir" ->
         Driver.host_pipeline (Driver.config Driver.Sycl_mlir)
         @ Driver.device_pipeline (Driver.config Driver.Sycl_mlir)
@@ -69,7 +71,7 @@ let read_input = function
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
 let run passes verify stats stats_json timing remarks remarks_json
-    print_analysis dump_before dump_after input =
+    print_analysis dump_before dump_after debuginfo input =
   Dialects.Register.init ();
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
@@ -89,7 +91,8 @@ let run passes verify stats stats_json timing remarks remarks_json
       Printf.eprintf "error: cannot read input: %s\n" msg;
       exit 1
   in
-  match Mlir.Parser.parse_module src with
+  let file = match input with None | Some "-" -> "-" | Some path -> path in
+  match Mlir.Parser.parse_module ~file src with
   | exception Mlir.Parser.Parse_error msg ->
     Printf.eprintf "parse error: %s\n" msg;
     exit 1
@@ -132,8 +135,12 @@ let run passes verify stats stats_json timing remarks remarks_json
       else None
     in
     let tm = Mlir.Instrument.timer () in
+    let lc = Mlir.Instrument.loc_coverage_log () in
     let instrumentations =
       (if timing then [ Mlir.Instrument.timing tm ] else [])
+      @ (if stats || stats_json <> None then
+           [ Mlir.Instrument.loc_coverage lc ]
+         else [])
       @ (match dump_before with
         | Some f ->
           [ Mlir.Instrument.dump ~before:true ~after:false ~filter:f () ]
@@ -148,7 +155,7 @@ let run passes verify stats stats_json timing remarks remarks_json
         ?remarks_sink pipeline m
     with
     | result ->
-      Mlir.Printer.print m;
+      Mlir.Printer.print ~debuginfo m;
       if timing then
         Format.eprintf "%a@?" Mlir.Instrument.pp_timing
           (Mlir.Instrument.timing_report tm);
@@ -164,7 +171,8 @@ let run passes verify stats stats_json timing remarks remarks_json
       | None -> ());
       if stats then begin
         Printf.eprintf "// pass statistics:\n";
-        Format.eprintf "%a@?" Mlir.Pass.Stats.pp (Mlir.Pass.merged_stats result)
+        Format.eprintf "%a@?" Mlir.Pass.Stats.pp (Mlir.Pass.merged_stats result);
+        Format.eprintf "%a@?" Mlir.Instrument.pp_loc_coverage lc
       end;
       (match stats_json with
       | Some path -> (
@@ -186,7 +194,25 @@ let run passes verify stats stats_json timing remarks remarks_json
                            ("stats", stats_obj st) ])
                      result.Mlir.Pass.per_pass_stats
                      result.Mlir.Pass.per_pass_time) );
-              ("merged", stats_obj (Mlir.Pass.merged_stats result)) ]
+              ("merged", stats_obj (Mlir.Pass.merged_stats result));
+              ( "loc_coverage",
+                Mlir.Json.List
+                  (List.map
+                     (fun e ->
+                       Mlir.Json.Obj
+                         [ ("pass", Mlir.Json.String e.Mlir.Instrument.lc_pass);
+                           ( "before_known",
+                             Mlir.Json.Int e.Mlir.Instrument.lc_before_known );
+                           ( "before_total",
+                             Mlir.Json.Int e.Mlir.Instrument.lc_before_total );
+                           ( "after_known",
+                             Mlir.Json.Int e.Mlir.Instrument.lc_after_known );
+                           ( "after_total",
+                             Mlir.Json.Int e.Mlir.Instrument.lc_after_total );
+                           ( "lost",
+                             Mlir.Json.Bool (Mlir.Instrument.loc_coverage_lost e)
+                           ) ])
+                     (Mlir.Instrument.loc_coverage_entries lc)) ) ]
         in
         try
           Out_channel.with_open_text path (fun oc ->
@@ -256,6 +282,13 @@ let dump_after_arg =
            ~doc:"Print the IR to stderr after each run of $(docv) (\"all\" \
                  for every pass).")
 
+let debuginfo_arg =
+  Arg.(value & flag
+       & info [ "mlir-print-debuginfo" ]
+           ~doc:"Print a trailing loc(...) attribute on every operation \
+                 (MLIR's -mlir-print-debuginfo). Off by default, so output \
+                 is unchanged for tools that do not understand locations.")
+
 let input_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
 
@@ -265,6 +298,6 @@ let cmd =
     (Cmd.info "sycl-mlir-opt" ~doc)
     Term.(const run $ passes_arg $ verify_arg $ stats_arg $ stats_json_arg
           $ timing_arg $ remarks_arg $ remarks_json_arg $ print_analysis_arg
-          $ dump_before_arg $ dump_after_arg $ input_arg)
+          $ dump_before_arg $ dump_after_arg $ debuginfo_arg $ input_arg)
 
 let () = exit (Cmd.eval cmd)

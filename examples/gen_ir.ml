@@ -1,9 +1,12 @@
 (* Regenerates the checked-in example IR from the workload builders:
 
      dune exec examples/gen_ir.exe -- matmul > examples/matmul.mlir
+     dune exec examples/gen_ir.exe -- matmul --debuginfo > examples/matmul.loc.mlir
 
    The files under examples/ are committed so the CLI tools (and CI's
-   smoke test) have stable textual inputs without running OCaml first. *)
+   smoke test) have stable textual inputs without running OCaml first.
+   [--debuginfo] prints a trailing loc(...) on every op — the golden
+   input for the location round-trip checks. *)
 
 open Sycl_workloads
 module K = Sycl_frontend.Kernel
@@ -25,16 +28,31 @@ let matmul_module () =
          [ K.Acc (2, S.Read, f32); K.Acc (2, S.Read, f32);
            K.Acc (2, S.Read_write, f32); K.Acc (1, S.Read, f32); K.Scal f32 ]
        (fun b ~item ~args ->
+         (* Name locations mimicking what a Clang-based frontend attaches:
+            each statement of the kernel functor becomes a named location
+            anchored at its position in the (hypothetical) matmul.cpp.
+            The builder stamps the current default onto every op it
+            inserts, so whole statements share one location — visible
+            under --mlir-print-debuginfo and in located remarks. *)
+         let at stmt line =
+           Mlir.Loc.name stmt
+             ~child:(Mlir.Loc.file ~file:"matmul.cpp" ~line ~col:5)
+         in
          match args with
          | [ a; bb; c; scale; beta_v ] ->
+           Mlir.Builder.set_default_loc b (at "indices" 12);
            let i = K.gid b item 0 and j = K.gid b item 1 in
            let n = K.grange b item 0 in
+           Mlir.Builder.set_default_loc b (at "scale-C" 13);
            K.acc_update b c [ i; j ] (fun v -> K.mulf b v beta_v);
+           Mlir.Builder.set_default_loc b (at "k-loop" 14);
            K.for_up b n (fun b2 k ->
+               Mlir.Builder.set_default_loc b2 (at "dot-product" 15);
                let s = K.acc_get b2 scale [ i ] in
                let av = K.acc_get b2 a [ i; k ] in
                let bv = K.acc_get b2 bb [ k; j ] in
                let prod = K.mulf b2 s (K.mulf b2 av bv) in
+               Mlir.Builder.set_default_loc b2 (at "accumulate" 16);
                K.acc_update b2 c [ i; j ] (fun v -> K.addf b2 v prod))
          | _ -> assert false));
   Polybench.emit_host m
@@ -54,7 +72,13 @@ let () =
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
   Sycl_core.Licm.init ();
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "matmul" in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let debuginfo = List.mem "--debuginfo" argv in
+  let which =
+    match List.filter (fun a -> a <> "--debuginfo") argv with
+    | [] -> "matmul"
+    | w :: _ -> w
+  in
   let m =
     match which with
     | "matmul" -> matmul_module ()
@@ -64,4 +88,4 @@ let () =
       prerr_endline ("unknown example " ^ other ^ " (matmul|gemm|vec-add)");
       exit 2
   in
-  print_string (Mlir.Printer.to_string m)
+  print_string (Mlir.Printer.to_string ~debuginfo m)

@@ -77,6 +77,7 @@ let self_cancel =
         && Core.value_equal (Core.operand op 0) (Core.operand op 1)
       then begin
         let b = Builder.before op in
+        Builder.set_default_loc b op.Core.loc;
         let zero =
           Dialects.Arith.constant b (Attr.Int 0) (Core.result op 0).Core.vty
         in
@@ -116,6 +117,7 @@ let cmp_same =
             | Dialects.Arith.Ne | Dialects.Arith.Slt | Dialects.Arith.Sgt -> false
           in
           let b = Builder.before op in
+          Builder.set_default_loc b op.Core.loc;
           let c = Dialects.Arith.const_bool b v in
           Core.replace_all_uses_with (Core.result op 0) c;
           Core.erase_op op;
@@ -150,6 +152,7 @@ let reassoc_const =
             match Rewrite.constant_of_value (Core.operand inner 1) with
             | Some (Attr.Int c1) ->
               let b = Builder.before op in
+              Builder.set_default_loc b op.Core.loc;
               let combined =
                 if name = "arith.addi" then c1 + c2 else c1 * c2
               in
@@ -178,7 +181,10 @@ let pass =
         | "dce" -> Pass.Stats.bump stats "canonicalize.dce"
         | name -> Pass.Stats.bump stats ("canonicalize.pattern." ^ name));
         if Remarks.enabled () then
-          Remarks.emit ~pass:"canonicalize" ~name:kind Remarks.Passed ~func
+          (* [op] may already be erased (dce) — its name and location
+             stay readable, and [~func] supplies the context an erased
+             op can no longer. *)
+          Remarks.emit ~pass:"canonicalize" ~name:kind Remarks.Passed ~op ~func
             (Printf.sprintf "%s rewritten by %s" op.Core.name
                (match kind with
                | "fold" -> "constant folding"

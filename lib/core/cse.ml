@@ -33,6 +33,8 @@ let run_on_func (f : Core.op) stats =
                      "duplicate %s eliminated in favor of an earlier \
                       identical computation"
                      op.Core.name);
+              (* The surviving op keeps its own location: the eliminated
+                 duplicate's position is recorded in the remark above. *)
               List.iteri
                 (fun i r -> Core.replace_all_uses_with r (Core.result existing i))
                 (Core.results op);

@@ -146,7 +146,15 @@ let apply (loop : Core.op) (c : candidate) : unit =
   (* [emit b] builds init-load + rewritten loop + final store at [b] and
      returns the rewritten loop's results corresponding to the original
      loop results. *)
+  (* The rewritten construct stands for the original loop plus the
+     reduced load/store pair it absorbed; scaffolding (guard, init load,
+     final store) is stamped with the same fused location via the
+     builders' default. *)
+  let fused_loc =
+    Loc.fused [ loop.Core.loc; c.red_load.Core.loc; c.red_store.Core.loc ]
+  in
   let emit (b : Builder.t) : Core.value list =
+    Builder.set_default_loc b fused_loc;
     let init = Dialects.Memref.load b c.red_mem c.red_idx in
     let old_region = loop.Core.regions.(0) in
     let old_body = Core.entry_block old_region in
@@ -169,7 +177,7 @@ let apply (loop : Core.op) (c : candidate) : unit =
         (Core.create_op loop.Core.name
            ~operands:(Core.operands loop @ [ init ])
            ~result_types:(orig_result_tys @ [ init.Core.vty ])
-           ~attrs:loop.Core.attrs ~regions:[ region ])
+           ~attrs:loop.Core.attrs ~regions:[ region ] ~loc:fused_loc)
     in
     let n = Core.num_results new_loop - 1 in
     Dialects.Memref.store b (Core.result new_loop n) c.red_mem c.red_idx;
@@ -183,6 +191,7 @@ let apply (loop : Core.op) (c : candidate) : unit =
   end
   else begin
     let b = Builder.before loop in
+    Builder.set_default_loc b fused_loc;
     let lb, ub =
       if Dialects.Scf.is_for loop then
         (Dialects.Scf.for_lb loop, Dialects.Scf.for_ub loop)

@@ -45,8 +45,15 @@ let inline_call (callee : Core.op) (call : Core.op) =
               | Some v' -> v'
               | None -> v)
             (Core.operands op)
-      else
-        Core.insert_before ~anchor:call (Core.clone_op ~value_map op))
+      else begin
+        let cloned = Core.clone_op ~value_map op in
+        Core.insert_before ~anchor:call cloned;
+        (* MLIR-style inlining location: each inlined op remembers where it
+           came from (callee side) and where it landed (the call site). *)
+        Core.walk cloned ~f:(fun o ->
+            o.Core.loc <-
+              Loc.callsite ~callee:o.Core.loc ~caller:call.Core.loc)
+      end)
     body.Core.body;
   List.iteri
     (fun i r ->

@@ -218,6 +218,9 @@ let build_fused (m : Core.op) (a : site) (b : site) : Core.op =
         | [] -> assert false)
   in
   Core.set_attr fused "sycl.kernel" Attr.Unit;
+  (* The fused kernel's location fuses its constituents'; body ops keep
+     the location of the kernel they were cloned from. *)
+  fused.Core.loc <- Loc.fused [ a.s_kernel.Core.loc; b.s_kernel.Core.loc ];
   (* Constituent alias facts remain valid: A's argument indices are
      preserved, B's shift by |A's captures|. *)
   let n_a = List.length args_a in
@@ -269,6 +272,9 @@ let fuse (m : Core.op) (a : site) (b : site) stats =
         && Core.value_equal (Core.operand op 1) (Core.result b.s_submit 0)
       then Core.set_operand op 1 h_a);
   Core.set_attr a.s_parallel_for "kernel" (Attr.Symbol (Core.func_sym fused));
+  (* The surviving launch now stands for both original launches. *)
+  a.s_parallel_for.Core.loc <-
+    Loc.fused [ a.s_parallel_for.Core.loc; b.s_parallel_for.Core.loc ];
   (* The merged launch must follow the second group's construction ops. *)
   Core.move_before ~anchor:b.s_parallel_for a.s_parallel_for;
   Core.erase_op b.s_parallel_for;
@@ -277,7 +283,7 @@ let fuse (m : Core.op) (a : site) (b : site) stats =
   | [] -> Core.erase_op b.s_submit
   | _ -> ());
   Remarks.emit ~pass:"kernel-fusion" ~name:"fused" Remarks.Passed
-    ~func:(Core.func_sym fused)
+    ~func:(Core.func_sym fused) ~loc:fused.Core.loc
     (Printf.sprintf
        "kernels %s and %s fused into one launch: one command group replaces \
         two, and the shared buffer's dataflow becomes internal"

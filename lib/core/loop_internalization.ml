@@ -176,12 +176,21 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
     | Some v -> v
     | None -> invalid_arg "loop_internalization: kernel has no item argument"
   in
+  (* Everything the rewrite materializes (ids, tiles, versioning guard,
+     fill loop, tiled loop) stands for the original loop fused with the
+     internalized accesses: builders stamp that location by default. *)
+  let fused_loc =
+    Loc.fused
+      (loop.Core.loc
+      :: List.map (fun c -> c.cand_access.Memory_access.acc_op.Core.loc) cands)
+  in
   let entry = Core.func_body kernel in
   let top_builder =
     match entry.Core.body with
     | first :: _ -> Builder.before first
     | [] -> Builder.at_end entry
   in
+  Builder.set_default_loc top_builder fused_loc;
   (* Local ids and gids, materialized at kernel entry (CSE cleans dups). *)
   let lids = Array.init kd (fun d -> build_lid top_builder item d) in
   let gid_cache = Hashtbl.create 4 in
@@ -222,6 +231,7 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
       cands
   in
   let b = Builder.before loop in
+  Builder.set_default_loc b fused_loc;
   let lb, ub = loop_bound_values b loop in
   let m_c = Dialects.Arith.const_index b m in
   let zero = Dialects.Arith.const_index b 0 in
@@ -260,10 +270,12 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
   let if_op =
     Dialects.Scf.if_ b ok ~result_types:orig_result_tys
       ~then_:(fun bb ->
+        Builder.set_default_loc bb fused_loc;
         (* Outer tiled loop over t. *)
         let outer =
           Dialects.Scf.for_ bb ~lb ~ub ~step:m_c ~iter_args:orig_inits
             (fun ob t outer_args ->
+              Builder.set_default_loc ob fused_loc;
               (* Cooperative fill of each tile. *)
               List.iter
                 (fun tile ->
@@ -300,6 +312,7 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
                     ignore
                       (Dialects.Scf.if_ ob is0
                          ~then_:(fun tb ->
+                           Builder.set_default_loc tb fused_loc;
                            Dialects.Memref.store tb loaded tile.tile_mem tidx;
                            [])
                          ())
@@ -312,6 +325,7 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
                 Dialects.Scf.for_ ob ~lb:zero ~ub:m_c ~step:(Dialects.Arith.const_index ob 1)
                   ~iter_args:outer_args
                   (fun ib k2 inner_args ->
+                    Builder.set_default_loc ib fused_loc;
                     let value_map = Hashtbl.create 32 in
                     let iv2 = Dialects.Arith.addi ib t k2 in
                     Hashtbl.replace value_map orig_iv.Core.vid iv2;
@@ -374,6 +388,7 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
     (fun c ->
       remark ~name:"prefetched" Remarks.Passed
         ~func:(Core.func_sym kernel)
+        ~loc:(Loc.fused [ loop.Core.loc; c.cand_access.Memory_access.acc_op.Core.loc ])
         (Printf.sprintf
            "accessor load with temporal reuse prefetched into a %dx%d \
             work-group-local tile (loop tiled by the work-group size, with \

@@ -22,6 +22,7 @@ let for_ b ~lb ~ub ?(step = 1) ?(iter_args = []) body =
   let iv = Core.block_arg entry 0 in
   let args = List.tl (Core.block_args entry) in
   let bb = Builder.at_end entry in
+  Builder.set_default_loc bb (Builder.default_loc b);
   let yielded = body bb iv args in
   Builder.op0 bb "affine.yield" ~operands:yielded;
   Builder.op b "affine.for"

@@ -14,7 +14,11 @@ let for_ b ~lb ~ub ~step ?(iter_args = []) body =
   let entry = Core.entry_block region in
   let iv = Core.block_arg entry 0 in
   let args = List.tl (Core.block_args entry) in
+  (* The nested builder inherits the enclosing default location, so
+     region scaffolding (the yield, anything the callback builds without
+     overriding) is located like the loop itself. *)
   let bb = Builder.at_end entry in
+  Builder.set_default_loc bb (Builder.default_loc b);
   let yielded = body bb iv args in
   Builder.op0 bb "scf.yield" ~operands:yielded;
   Builder.op b "scf.for"
@@ -28,6 +32,7 @@ let if_ b cond ?(result_types = []) ~then_ ?else_ () =
   let mk body =
     let region = Core.region_with_block () in
     let bb = Builder.at_end (Core.entry_block region) in
+    Builder.set_default_loc bb (Builder.default_loc b);
     let yielded = body bb in
     Builder.op0 bb "scf.yield" ~operands:yielded;
     region

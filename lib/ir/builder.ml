@@ -4,12 +4,18 @@ type insertion_point =
   | At_end of Core.block
   | Before of Core.op
 
-type t = { mutable ip : insertion_point option }
+type t = {
+  mutable ip : insertion_point option;
+  (* Default source location stamped (by [insert]) onto inserted ops that
+     carry no location of their own. Lets a pass set the location once per
+     rewrite site instead of threading ?loc through every dialect helper. *)
+  mutable default_loc : Loc.t;
+}
 
-let create () = { ip = None }
+let create () = { ip = None; default_loc = Loc.Unknown }
 
-let at_end block = { ip = Some (At_end block) }
-let before op = { ip = Some (Before op) }
+let at_end block = { ip = Some (At_end block); default_loc = Loc.Unknown }
+let before op = { ip = Some (Before op); default_loc = Loc.Unknown }
 
 let set_insertion_point_to_end b block = b.ip <- Some (At_end block)
 let set_insertion_point_before b op = b.ip <- Some (Before op)
@@ -37,27 +43,41 @@ let insertion_block b =
   | Some (Before op) -> op.Core.parent_block
   | None -> None
 
-(** Create an op at the current insertion point. *)
+let set_default_loc b loc = b.default_loc <- loc
+let default_loc b = b.default_loc
+
+(** Run [f] with the default location temporarily set to [loc]. *)
+let with_loc b loc f =
+  let saved = b.default_loc in
+  b.default_loc <- loc;
+  Fun.protect ~finally:(fun () -> b.default_loc <- saved) f
+
+(** Create an op at the current insertion point. Ops with no location of
+    their own pick up the builder's default location. *)
 let insert b op =
   (match b.ip with
   | None -> invalid_arg "Builder.insert: no insertion point"
   | Some (At_end block) -> Core.append_op block op
   | Some (Before anchor) -> Core.insert_before ~anchor op);
+  if not (Loc.is_known op.Core.loc) then op.Core.loc <- b.default_loc;
   op
 
-let op ?attrs ?regions ?successors ~operands ~result_types b name =
-  insert b (Core.create_op ?attrs ?regions ?successors ~operands ~result_types name)
+let op ?attrs ?regions ?successors ?loc ~operands ~result_types b name =
+  insert b
+    (Core.create_op ?attrs ?regions ?successors ?loc ~operands ~result_types
+       name)
 
 (** Like {!op} for single-result operations; returns the result value. *)
-let op1 ?attrs ?regions ?successors ~operands ~result_type b name =
+let op1 ?attrs ?regions ?successors ?loc ~operands ~result_type b name =
   let o =
-    op ?attrs ?regions ?successors ~operands ~result_types:[ result_type ] b name
+    op ?attrs ?regions ?successors ?loc ~operands
+      ~result_types:[ result_type ] b name
   in
   Core.result o 0
 
 (** Like {!op} for zero-result operations; returns unit. *)
-let op0 ?attrs ?regions ?successors ~operands b name =
-  ignore (op ?attrs ?regions ?successors ~operands ~result_types:[] b name)
+let op0 ?attrs ?regions ?successors ?loc ~operands b name =
+  ignore (op ?attrs ?regions ?successors ?loc ~operands ~result_types:[] b name)
 
 (** Run [f] with the insertion point temporarily moved to the end of
     [block], restoring it afterwards. *)

@@ -4,7 +4,10 @@ type insertion_point =
   | At_end of Core.block
   | Before of Core.op
 
-type t = { mutable ip : insertion_point option }
+type t = {
+  mutable ip : insertion_point option;
+  mutable default_loc : Loc.t;
+}
 
 val create : unit -> t
 
@@ -20,7 +23,17 @@ val set_insertion_point_after : t -> Core.op -> unit
 
 val insertion_block : t -> Core.block option
 
-(** Insert a detached op at the current insertion point. *)
+(** Default source location stamped by {!insert} onto inserted ops that
+    carry no location of their own ([Loc.Unknown]). *)
+val set_default_loc : t -> Loc.t -> unit
+
+val default_loc : t -> Loc.t
+
+(** Run a function with the default location temporarily replaced. *)
+val with_loc : t -> Loc.t -> (unit -> 'a) -> 'a
+
+(** Insert a detached op at the current insertion point; stamps the
+    builder's default location if the op's own is [Unknown]. *)
 val insert : t -> Core.op -> Core.op
 
 (** Create and insert an op. *)
@@ -28,6 +41,7 @@ val op :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
   ?successors:Core.block list ->
+  ?loc:Loc.t ->
   operands:Core.value list ->
   result_types:Types.t list ->
   t ->
@@ -39,6 +53,7 @@ val op1 :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
   ?successors:Core.block list ->
+  ?loc:Loc.t ->
   operands:Core.value list ->
   result_type:Types.t ->
   t ->
@@ -50,6 +65,7 @@ val op0 :
   ?attrs:(string * Attr.t) list ->
   ?regions:Core.region list ->
   ?successors:Core.block list ->
+  ?loc:Loc.t ->
   operands:Core.value list ->
   t ->
   string ->

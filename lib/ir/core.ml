@@ -28,6 +28,9 @@ and op = {
      Successors always belong to the region holding the op's block. *)
   mutable successors : block array;
   mutable parent_block : block option;
+  (* Source location (MLIR-style). The parser records textual positions,
+     builders stamp defaults, transforms propagate deliberately. *)
+  mutable loc : Loc.t;
 }
 
 and block = {
@@ -78,8 +81,8 @@ let remove_use v op idx =
 
 (** Create a detached operation. Results are fresh values; regions are given
     already-built (detached) regions whose parent is patched here. *)
-let create_op ?(attrs = []) ?(regions = []) ?(successors = []) ~operands
-    ~result_types name =
+let create_op ?(attrs = []) ?(regions = []) ?(successors = [])
+    ?(loc = Loc.Unknown) ~operands ~result_types name =
   let op =
     {
       oid = next_id ();
@@ -90,6 +93,7 @@ let create_op ?(attrs = []) ?(regions = []) ?(successors = []) ~operands
       regions = Array.of_list regions;
       successors = Array.of_list successors;
       parent_block = None;
+      loc;
     }
   in
   op.results <-
@@ -379,6 +383,35 @@ let rec enclosing_func op =
   if is_func op then Some op
   else match parent_op op with None -> None | Some p -> enclosing_func p
 
+(** Position of [op] among the ops of its block (0-based), if attached. *)
+let op_index_in_block op =
+  match op.parent_block with
+  | None -> None
+  | Some b ->
+    let rec go i = function
+      | [] -> None
+      | o :: _ when o == op -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 b.body
+
+(** Structural path of [op] below its enclosing function (or module when
+    there is none): op names with block positions, outermost first, e.g.
+    ["scf.for#2 > arith.addi#0"]. The enclosing func itself is excluded. *)
+let op_path op =
+  let component o =
+    match op_index_in_block o with
+    | Some i -> Printf.sprintf "%s#%d" o.name i
+    | None -> o.name
+  in
+  let rec above o acc =
+    match parent_op o with
+    | None -> acc
+    | Some p when is_func p || is_module p -> acc
+    | Some p -> above p (component p :: acc)
+  in
+  String.concat " > " (above op [ component op ])
+
 (** Deep-copy [op] and everything nested in it. [value_map] carries the
     mapping from old to new values; operands defined outside the cloned
     subtree map to themselves. *)
@@ -419,7 +452,7 @@ let rec clone_op ?(value_map = Hashtbl.create 16) ?(block_map = Hashtbl.create 8
     create_op op.name
       ~operands:(List.map map_value (operands op))
       ~result_types:(List.map (fun r -> r.vty) (results op))
-      ~attrs:op.attrs ~regions
+      ~attrs:op.attrs ~regions ~loc:op.loc
       ~successors:(List.map map_block (Array.to_list op.successors))
   in
   Array.iteri

@@ -51,15 +51,20 @@ let first_diff a b =
 (* Oracle (a): print → parse → print fixpoint                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_roundtrip (m : Core.op) : (unit, failure) result =
-  let s1 = Printer.to_string m in
+(** [debuginfo] additionally prints a trailing [loc(...)] on every op in
+    both renderings, so the oracle covers the location syntax too. Modules
+    whose locations were built with the {!Loc} smart constructors (the
+    parser, the builders, {!Irgen}) are already canonical, so the fixpoint
+    holds for them just as it does for the loc-less form. *)
+let check_roundtrip ?(debuginfo = false) (m : Core.op) : (unit, failure) result =
+  let s1 = Printer.to_string ~debuginfo m in
   match Parser.parse_string s1 with
   | exception Parser.Parse_error msg ->
     Error
       { f_oracle = "roundtrip"; f_detail = "printed module fails to re-parse: " ^ msg;
         f_ir = Some s1 }
   | m' ->
-    let s2 = Printer.to_string m' in
+    let s2 = Printer.to_string ~debuginfo m' in
     if String.equal s1 s2 then Ok ()
     else
       let detail =

@@ -154,6 +154,71 @@ let pp_changes fmt (cl : change_log) =
     (changes cl)
 
 (* ------------------------------------------------------------------ *)
+(* Location coverage (--stats)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-pass counts of ops carrying a known (non-Unknown) source location,
+   before and after the pass — so location *loss* inside a pass (rewrites
+   that drop or forget locations) is itself observable. *)
+
+type loc_coverage_entry = {
+  lc_pass : string;
+  lc_before_known : int;
+  lc_before_total : int;
+  lc_after_known : int;
+  lc_after_total : int;
+}
+
+(** A pass "lost" locations when it left more unknown-location ops behind
+    than it found — i.e. it created or rewrote ops without propagating. *)
+let loc_coverage_lost e =
+  e.lc_after_total - e.lc_after_known > e.lc_before_total - e.lc_before_known
+
+type loc_coverage_log = {
+  mutable lcl_entries : loc_coverage_entry list;  (* reversed *)
+  mutable lcl_pending : (int * int) option;  (* known, total before pass *)
+}
+
+let loc_coverage_log () = { lcl_entries = []; lcl_pending = None }
+let loc_coverage_entries l = List.rev l.lcl_entries
+
+let count_locs (m : Core.op) =
+  let known = ref 0 and total = ref 0 in
+  Core.walk m ~f:(fun o ->
+      incr total;
+      if Loc.is_known o.Core.loc then incr known);
+  (!known, !total)
+
+let loc_coverage (l : loc_coverage_log) =
+  make "loc-coverage"
+    ~before_pass:(fun ~pass_name:_ m -> l.lcl_pending <- Some (count_locs m))
+    ~after_pass:(fun ~pass_name m ->
+      let before_known, before_total =
+        match l.lcl_pending with Some p -> p | None -> (0, 0)
+      in
+      l.lcl_pending <- None;
+      let after_known, after_total = count_locs m in
+      l.lcl_entries <-
+        {
+          lc_pass = pass_name;
+          lc_before_known = before_known;
+          lc_before_total = before_total;
+          lc_after_known = after_known;
+          lc_after_total = after_total;
+        }
+        :: l.lcl_entries)
+
+let pp_loc_coverage fmt (l : loc_coverage_log) =
+  Format.fprintf fmt "  %-40s %14s %14s@." "pass" "located before"
+    "located after";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-40s %8d/%-5d %8d/%-5d%s@." e.lc_pass
+        e.lc_before_known e.lc_before_total e.lc_after_known e.lc_after_total
+        (if loc_coverage_lost e then "  LOST" else ""))
+    (loc_coverage_entries l)
+
+(* ------------------------------------------------------------------ *)
 (* Verification after every pass (--verify-each)                       *)
 (* ------------------------------------------------------------------ *)
 

@@ -70,6 +70,35 @@ val noop_passes : change_log -> string list
 
 val pp_changes : Format.formatter -> change_log -> unit
 
+(** {1 Location coverage} *)
+
+type loc_coverage_entry = {
+  lc_pass : string;
+  lc_before_known : int;  (** ops with a known location before the pass *)
+  lc_before_total : int;
+  lc_after_known : int;
+  lc_after_total : int;
+}
+
+(** Did the pass leave more unknown-location ops behind than it found
+    (i.e. create or rewrite ops without propagating locations)? *)
+val loc_coverage_lost : loc_coverage_entry -> bool
+
+type loc_coverage_log
+
+val loc_coverage_log : unit -> loc_coverage_log
+
+(** The location-coverage instrumentation: counts known-location ops
+    before and after every pass, so location loss is observable. *)
+val loc_coverage : loc_coverage_log -> t
+
+val loc_coverage_entries : loc_coverage_log -> loc_coverage_entry list
+
+(** [(known, total)] ops in a module. *)
+val count_locs : Core.op -> int * int
+
+val pp_loc_coverage : Format.formatter -> loc_coverage_log -> unit
+
 (** {1 Verification after every pass} *)
 
 (** [verify_after ()] runs {!Verifier.verify} on the module after every

@@ -166,6 +166,34 @@ let gen_attrs g =
   if int g 4 = 0 then plain @ [ gen_annotation_attr g ] else plain
 
 (* ------------------------------------------------------------------ *)
+(* Locations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random source locations covering all five constructors, nested. Built
+   with the {!Loc} smart constructors so the tree is already canonical
+   (fused lists flattened/deduplicated, unknown callsite sides collapsed)
+   — print -> parse is then the textual identity the debuginfo fixpoint
+   oracle demands. *)
+let rec gen_loc g ~depth =
+  match int g (if depth > 0 then 8 else 4) with
+  | 0 -> Loc.unknown
+  | 1 | 2 ->
+    Loc.file
+      ~file:(match int g 3 with
+            | 0 -> "mm.cpp"
+            | 1 -> "kernel.sycl.cpp"
+            | _ -> gen_string g)
+      ~line:(1 + int g 500) ~col:(1 + int g 120)
+  | 3 -> Loc.name (gen_string g)
+  | 4 | 5 -> Loc.name ~child:(gen_loc g ~depth:(depth - 1)) (fresh_sym g "loc")
+  | 6 ->
+    Loc.callsite
+      ~callee:(gen_loc g ~depth:(depth - 1))
+      ~caller:(gen_loc g ~depth:(depth - 1))
+  | _ ->
+    Loc.fused (List.init (int g 4) (fun _ -> gen_loc g ~depth:(depth - 1)))
+
+(* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -191,6 +219,7 @@ let gen_leaf g env =
   Core.create_op (pick_arr g leaf_names) ~operands:(gen_operands g env)
     ~result_types:(List.init (int g 3) (fun _ -> gen_type g))
     ~attrs:(if int g 2 = 0 then gen_attrs g else [])
+    ~loc:(gen_loc g ~depth:2)
 
 let rec gen_op g ~depth (env : env) : Core.op =
   if depth > 0 && int g 4 = 0 then
@@ -200,7 +229,7 @@ let rec gen_op g ~depth (env : env) : Core.op =
     Core.create_op (pick_arr g region_names) ~operands:(gen_operands g env)
       ~result_types:(List.init (int g 2) (fun _ -> gen_type g))
       ~attrs:(if int g 2 = 0 then gen_attrs g else [])
-      ~regions
+      ~regions ~loc:(gen_loc g ~depth:2)
   else gen_leaf g env
 
 (* A straight-line block body; returns the ops and the extended env. *)
@@ -279,7 +308,7 @@ let gen_func g =
     ~attrs:
       [ ("sym_name", Attr.String (fresh_sym g "fn"));
         ("function_type", Attr.Type (Types.Function (arg_tys, []))) ]
-    ~regions:[ region ]
+    ~regions:[ region ] ~loc:(gen_loc g ~depth:1)
 
 let gen_global g =
   Core.create_op "test.global" ~operands:[] ~result_types:[]

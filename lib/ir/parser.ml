@@ -43,6 +43,11 @@ type lexer = {
   src : string;
   mutable pos : int;
   mutable line : int;
+  (* Position of the first character of the current line, for columns. *)
+  mutable bol : int;
+  (* Line/column (1-based) of the start of the most recent token. *)
+  mutable tok_line : int;
+  mutable tok_col : int;
 }
 
 let is_ident_start c =
@@ -66,6 +71,7 @@ let rec skip_ws lx =
   | Some '\n' ->
     lx.pos <- lx.pos + 1;
     lx.line <- lx.line + 1;
+    lx.bol <- lx.pos;
     skip_ws lx
   | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
     while peek_char lx <> None && peek_char lx <> Some '\n' do
@@ -180,6 +186,10 @@ let lex_string lx =
       | None -> error lx "unterminated escape");
       go ()
     | Some c ->
+      if c = '\n' then begin
+        lx.line <- lx.line + 1;
+        lx.bol <- lx.pos + 1
+      end;
       Buffer.add_char buf c;
       lx.pos <- lx.pos + 1;
       go ()
@@ -189,6 +199,8 @@ let lex_string lx =
 
 let next_token lx =
   skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.pos - lx.bol + 1;
   match peek_char lx with
   | None -> Eof
   | Some c -> (
@@ -246,12 +258,19 @@ type block_scope = {
 
 type t = {
   lx : lexer;
+  file : string; (* name recorded in parsed File locations *)
   mutable tok : token;
+  (* Line/column of the start of the current token [tok]. *)
+  mutable tok_line : int;
+  mutable tok_col : int;
   values : (string, Core.value) Hashtbl.t;
   mutable scopes : block_scope list; (* innermost region first *)
 }
 
-let advance p = p.tok <- next_token p.lx
+let advance p =
+  p.tok <- next_token p.lx;
+  p.tok_line <- p.lx.tok_line;
+  p.tok_col <- p.lx.tok_col
 
 let expect p tok =
   if p.tok = tok then advance p
@@ -535,6 +554,73 @@ and parse_affine_factor p =
   | t -> error p.lx (Printf.sprintf "expected affine factor, found %s" (token_to_string t))
 
 (* ------------------------------------------------------------------ *)
+(* Locations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The inner expression of a [loc(...)] attachment. Raw constructors are
+   built deliberately (no canonicalization): the parser reproduces exactly
+   what the text says, so print -> parse -> print is the identity. *)
+let rec parse_loc_expr p : Loc.t =
+  match p.tok with
+  | Ident "unknown" -> advance p; Loc.Unknown
+  | Ident "callsite" ->
+    advance p;
+    expect p Lparen;
+    let callee = parse_loc_expr p in
+    (match p.tok with
+    | Ident "at" -> advance p
+    | t ->
+      error p.lx
+        (Printf.sprintf "expected 'at' in callsite location, found %s"
+           (token_to_string t)));
+    let caller = parse_loc_expr p in
+    expect p Rparen;
+    Loc.CallSite { callee; caller }
+  | Ident "fused" ->
+    advance p;
+    expect p Lbracket;
+    let rec elems () =
+      if p.tok = Rbracket then []
+      else
+        let l = parse_loc_expr p in
+        if accept p Comma then l :: elems () else [ l ]
+    in
+    let ls = elems () in
+    expect p Rbracket;
+    Loc.Fused ls
+  | String_lit s -> (
+    advance p;
+    match p.tok with
+    | Colon ->
+      advance p;
+      let line =
+        match p.tok with
+        | Int_lit i -> advance p; i
+        | t ->
+          error p.lx
+            (Printf.sprintf "expected line number in location, found %s"
+               (token_to_string t))
+      in
+      expect p Colon;
+      let col =
+        match p.tok with
+        | Int_lit i -> advance p; i
+        | t ->
+          error p.lx
+            (Printf.sprintf "expected column number in location, found %s"
+               (token_to_string t))
+      in
+      Loc.File { file = s; line; col }
+    | Lparen ->
+      advance p;
+      let child = parse_loc_expr p in
+      expect p Rparen;
+      Loc.Name (s, child)
+    | _ -> Loc.Name (s, Loc.Unknown))
+  | t ->
+    error p.lx (Printf.sprintf "expected location, found %s" (token_to_string t))
+
+(* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -560,6 +646,9 @@ let successor_block p name =
       b)
 
 let rec parse_op p : Core.op =
+  (* Textual position of the op (its first token) — the default location
+     when no explicit loc(...) trails the op. *)
+  let start_line = p.tok_line and start_col = p.tok_col in
   (* results *)
   let result_names =
     match p.tok with
@@ -658,7 +747,21 @@ let rec parse_op p : Core.op =
     error p.lx
       (Printf.sprintf "op %s: %d result names but %d result types" name
          (List.length result_names) (List.length result_types));
-  let op = Core.create_op name ~operands ~result_types ~attrs ~regions ~successors in
+  (* Trailing location attachment: an explicit loc(...) wins over the
+     recorded textual position ('loc' is reserved as an op name). *)
+  let loc =
+    match p.tok with
+    | Ident "loc" ->
+      advance p;
+      expect p Lparen;
+      let l = parse_loc_expr p in
+      expect p Rparen;
+      l
+    | _ -> Loc.File { file = p.file; line = start_line; col = start_col }
+  in
+  let op =
+    Core.create_op name ~operands ~result_types ~attrs ~regions ~successors ~loc
+  in
   List.iteri
     (fun i n -> Hashtbl.replace p.values n (Core.result op i))
     result_names;
@@ -755,21 +858,43 @@ and parse_region p : Core.region =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make_parser src =
-  let lx = { src; pos = 0; line = 1 } in
-  let p = { lx; tok = Eof; values = Hashtbl.create 64; scopes = [] } in
+let make_parser ?(file = "-") src =
+  let lx = { src; pos = 0; line = 1; bol = 0; tok_line = 1; tok_col = 1 } in
+  let p =
+    {
+      lx;
+      file;
+      tok = Eof;
+      tok_line = 1;
+      tok_col = 1;
+      values = Hashtbl.create 64;
+      scopes = [];
+    }
+  in
   advance p;
   p
 
-let parse_string src =
-  let p = make_parser src in
+let parse_string ?file src =
+  let p = make_parser ?file src in
   let op = parse_op p in
   if p.tok <> Eof then
     error p.lx (Printf.sprintf "trailing input: %s" (token_to_string p.tok));
   op
 
-let parse_module src =
-  let op = parse_string src in
+let parse_module ?file src =
+  let op = parse_string ?file src in
   if not (Core.is_module op) then
     raise (Parse_error "expected a builtin.module at top level");
   op
+
+(** Parse a standalone location expression (the inner form of [loc(...)]),
+    e.g. ["\"f.cpp\":3:1"] or ["callsite(\"a\" at \"b\")"] — used by the
+    remarks JSON reader. *)
+let parse_loc src =
+  let p = make_parser src in
+  let l = parse_loc_expr p in
+  if p.tok <> Eof then
+    error p.lx
+      (Printf.sprintf "trailing input after location: %s"
+         (token_to_string p.tok));
+  l

@@ -15,6 +15,9 @@ type env = {
   (* Per-region block labels (^bb0, ^bb1, ...), keyed by block id. *)
   block_names : (int, string) Hashtbl.t;
   mutable counter : int;
+  (* Emit trailing loc(...) attachments (--mlir-print-debuginfo). Off by
+     default so golden output (and IR fingerprints) are location-free. *)
+  debuginfo : bool;
 }
 
 let value_name env (v : Core.value) =
@@ -84,6 +87,12 @@ let rec print_op env level (op : Core.op) =
       (String.concat ", "
          (List.map (fun v -> Types.to_string v.Core.vty) (Core.results op)));
     Buffer.add_char env.buf ')'
+  end;
+  (* Location attachment *)
+  if env.debuginfo then begin
+    Buffer.add_string env.buf " loc(";
+    Buffer.add_string env.buf (Loc.to_string op.Core.loc);
+    Buffer.add_char env.buf ')'
   end
 
 and print_region env level (r : Core.region) =
@@ -125,22 +134,22 @@ and print_region env level (r : Core.region) =
   indent env level;
   Buffer.add_char env.buf '}'
 
-let op_to_string ?(env = None) op =
+let op_to_string ?(env = None) ?(debuginfo = false) op =
   let env =
     match env with
     | Some e -> e
     | None ->
       { buf = Buffer.create 1024; names = Hashtbl.create 64;
-        block_names = Hashtbl.create 16; counter = 0 }
+        block_names = Hashtbl.create 16; counter = 0; debuginfo }
   in
   Buffer.clear env.buf;
   print_op env 0 op;
   Buffer.contents env.buf
 
-let to_string op = op_to_string op
+let to_string ?debuginfo op = op_to_string ?debuginfo op
 
-let print ?(out = stdout) op =
-  output_string out (to_string op);
+let print ?(out = stdout) ?debuginfo op =
+  output_string out (to_string ?debuginfo op);
   output_char out '\n'
 
 let pp fmt op = Format.pp_print_string fmt (to_string op)
@@ -149,7 +158,7 @@ let pp fmt op = Format.pp_print_string fmt (to_string op)
 let summary (op : Core.op) =
   let env =
     { buf = Buffer.create 64; names = Hashtbl.create 8;
-      block_names = Hashtbl.create 4; counter = 0 }
+      block_names = Hashtbl.create 4; counter = 0; debuginfo = false }
   in
   Buffer.add_string env.buf op.name;
   Buffer.add_char env.buf '(';

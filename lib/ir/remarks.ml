@@ -29,6 +29,7 @@ type t = {
   r_func : string;  (** enclosing function / kernel ("?" when unknown) *)
   r_op : string;  (** op name the remark anchors to ("" when none) *)
   r_message : string;  (** human-readable reason *)
+  r_loc : Loc.t;  (** source location of the anchor op ([Unknown] when none) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -62,7 +63,7 @@ let with_sink f body =
   install f;
   Fun.protect ~finally:uninstall body
 
-let emit ~pass ~name kind ?op ?func message =
+let emit ~pass ~name kind ?op ?func ?loc message =
   match Domain.DLS.get sinks_key with
   | [] -> ()
   | sinks ->
@@ -75,6 +76,12 @@ let emit ~pass ~name kind ?op ?func message =
         | None -> "?")
       | None, None -> "?"
     in
+    let loc =
+      match (loc, op) with
+      | Some l, _ -> l
+      | None, Some o -> o.Core.loc
+      | None, None -> Loc.Unknown
+    in
     let r =
       {
         r_pass = pass;
@@ -83,6 +90,7 @@ let emit ~pass ~name kind ?op ?func message =
         r_func = func;
         r_op = (match op with Some o -> o.Core.name | None -> "");
         r_message = message;
+        r_loc = loc;
       }
     in
     List.iter (fun s -> s r) sinks
@@ -106,7 +114,8 @@ let flag_of_kind = function
   | Analysis -> "-Rpass-analysis"
 
 let to_string (r : t) =
-  Printf.sprintf "%s: %s%s: %s [%s=%s:%s]"
+  Printf.sprintf "%s%s: %s%s: %s [%s=%s:%s]"
+    (Loc.diag_prefix r.r_loc)
     (match r.r_kind with
     | Passed -> "remark"
     | Missed -> "remark (missed)"
@@ -125,14 +134,26 @@ let pp fmt r = Format.pp_print_string fmt (to_string r)
 
 let to_json_value (r : t) : Json.t =
   Json.Obj
-    [
-      ("pass", Json.String r.r_pass);
-      ("name", Json.String r.r_name);
-      ("kind", Json.String (kind_to_string r.r_kind));
-      ("function", Json.String r.r_func);
-      ("op", Json.String r.r_op);
-      ("message", Json.String r.r_message);
-    ]
+    ([
+       ("pass", Json.String r.r_pass);
+       ("name", Json.String r.r_name);
+       ("kind", Json.String (kind_to_string r.r_kind));
+       ("function", Json.String r.r_func);
+       ("op", Json.String r.r_op);
+       ("message", Json.String r.r_message);
+       (* Textual form (round-trips via [Parser.parse_loc]) ... *)
+       ("loc", Json.String (Loc.to_string r.r_loc));
+     ]
+    (* ... plus the resolved position, pre-digested for consumers. *)
+    @
+    match Loc.resolve r.r_loc with
+    | Some (file, line, col) ->
+      [
+        ("file", Json.String file);
+        ("line", Json.Int line);
+        ("col", Json.Int col);
+      ]
+    | None -> [])
 
 let to_json (r : t) = Json.to_string ~compact:true (to_json_value r)
 
@@ -152,6 +173,16 @@ let of_json_value (v : Json.t) : t =
     | Some k -> k
     | None -> raise (Json_error "bad remark kind")
   in
+  let loc =
+    (* Absent in pre-location documents; defaults to Unknown. *)
+    match Option.bind (Json.member "loc" v) Json.as_string with
+    | None -> Loc.Unknown
+    | Some s -> (
+      match Parser.parse_loc s with
+      | l -> l
+      | exception Parser.Parse_error msg ->
+        raise (Json_error (Printf.sprintf "bad remark location %S: %s" s msg)))
+  in
   {
     r_pass = field "pass";
     r_name = field "name";
@@ -159,6 +190,7 @@ let of_json_value (v : Json.t) : t =
     r_func = field "function";
     r_op = field "op";
     r_message = field "message";
+    r_loc = loc;
   }
 
 let parse_json_remarks (s : string) : t list =

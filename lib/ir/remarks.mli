@@ -22,6 +22,7 @@ type t = {
   r_func : string;  (** enclosing function / kernel ("?" when unknown) *)
   r_op : string;  (** op name the remark anchors to ("" when none) *)
   r_message : string;  (** human-readable reason *)
+  r_loc : Loc.t;  (** source location of the anchor op ([Unknown] when none) *)
 }
 
 (** Is a sink installed (in this domain)? Passes may use this to skip
@@ -40,14 +41,16 @@ val uninstall : unit -> unit
     popping it on the way out (exceptions included). *)
 val with_sink : (t -> unit) -> (unit -> 'a) -> 'a
 
-(** Emit a remark. The enclosing function name is derived from [op] when
-    [func] is not given. No-op when no sink is installed. *)
+(** Emit a remark. The enclosing function name and source location are
+    derived from [op] when [func] / [loc] are not given. No-op when no
+    sink is installed. *)
 val emit :
   pass:string ->
   name:string ->
   kind ->
   ?op:Core.op ->
   ?func:string ->
+  ?loc:Loc.t ->
   string ->
   unit
 
@@ -56,7 +59,9 @@ val emit :
     still receives every remark, so collectors nest. *)
 val collect : (unit -> 'a) -> 'a * t list
 
-(** ["remark: <func>: <message> [-Rpass=<pass>:<name>]"]. *)
+(** ["[file:line:col: ]remark: <func>: <message> [-Rpass=<pass>:<name>]"]
+    — prefixed with the resolved source position when the remark carries
+    one. *)
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -57,6 +57,8 @@ let try_fold (op : Core.op) : bool =
         false
       else begin
         let builder = Builder.before op in
+        (* Constants materialized for a folded op keep the op's location. *)
+        Builder.set_default_loc builder op.Core.loc;
         List.iteri
           (fun i a ->
             let v =

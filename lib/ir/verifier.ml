@@ -5,19 +5,50 @@
 type diag = {
   message : string;
   culprit : Core.op option;
+  d_loc : Loc.t;  (** culprit's source location at failure time *)
+  d_context : string;  (** "@func: op path" rendered at failure time *)
 }
 
+(* The context is rendered when the diagnostic is created: passes erase
+   and detach ops after verification, so the path may not be computable
+   later. Even location-less IR gets "@func: scf.for#1 > arith.addi#0"
+   instead of bare value ids. *)
+let context_of (op : Core.op) =
+  match Core.enclosing_func op with
+  | Some f when not (Core.is_func op) ->
+    Printf.sprintf "@%s: %s" (Core.func_sym f) (Core.op_path op)
+  | Some f -> Printf.sprintf "@%s" (Core.func_sym f)
+  | None -> Core.op_path op
+
 let diag_to_string d =
+  let chain =
+    (* Structured locations (call sites, fusions, names) carry history a
+       bare file:line:col prefix cannot show — spell the chain out. *)
+    match d.d_loc with
+    | Loc.Unknown | Loc.File _ -> ""
+    | l -> Printf.sprintf " [at %s]" (Loc.describe l)
+  in
   match d.culprit with
-  | None -> d.message
-  | Some op -> Printf.sprintf "%s (in %s)" d.message (Printer.summary op)
+  | None -> Loc.diag_prefix d.d_loc ^ d.message ^ chain
+  | Some op ->
+    Printf.sprintf "%s%s (in %s — %s)%s"
+      (Loc.diag_prefix d.d_loc)
+      d.message d.d_context (Printer.summary op) chain
 
 exception Verification_failed of diag list
 
 let verify ?(allow_unregistered = true) (top : Core.op) =
   let diags = ref [] in
   let fail ?op fmt =
-    Printf.ksprintf (fun message -> diags := { message; culprit = op } :: !diags) fmt
+    Printf.ksprintf
+      (fun message ->
+        let d_loc, d_context =
+          match op with
+          | Some o -> (o.Core.loc, context_of o)
+          | None -> (Loc.Unknown, "")
+        in
+        diags := { message; culprit = op; d_loc; d_context } :: !diags)
+      fmt
   in
   let check_op op =
     (* Operand visibility. *)

@@ -4,8 +4,15 @@
 type diag = {
   message : string;
   culprit : Core.op option;
+  d_loc : Loc.t;  (** culprit's source location at failure time *)
+  d_context : string;
+      (** enclosing function and op path ("@gemm: scf.for#1 > arith.addi#0"),
+          rendered when the diagnostic was created *)
 }
 
+(** ["[file:line:col: ]<message> (in @func: path — op(%a, %b))[ [at chain]]"].
+    The location prefix appears when the culprit carries a resolvable
+    position; structured locations also print their full chain. *)
 val diag_to_string : diag -> string
 
 exception Verification_failed of diag list

@@ -122,12 +122,15 @@ let record_access ctx (op : Core.op) (view : Memory.view) (idx : int list) =
     let a = view.Memory.base in
     Hashtbl.replace tbl (a.Memory.aid, line, latency_class a) ()
 
-(* Record a store into the group's write footprint (race detection).
-   Only global-space writes are kept — see {!Memory.footprint_write}. *)
-let record_store ctx (view : Memory.view) (idx : int list) =
+(* Record a store into the group's write footprint (race detection),
+   tagged with the storing op's source location so a race report can
+   name the culprit store. Only global-space writes are kept — see
+   {!Memory.footprint_write}. *)
+let record_store ctx (op : Core.op) (view : Memory.view) (idx : int list) =
   match ctx.wg.footprint with
   | None -> ()
-  | Some fp -> Memory.footprint_write fp view (Memory.linear_index view idx)
+  | Some fp ->
+    Memory.footprint_write ~loc:op.Core.loc fp view (Memory.linear_index view idx)
 
 (* ------------------------------------------------------------------ *)
 (* SYCL struct storage helpers                                         *)
@@ -332,7 +335,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
         (List.filteri (fun i _ -> i >= 2) (Core.operands op))
     in
     record_access ctx op view idx;
-    record_store ctx view idx;
+    record_store ctx op view idx;
     Memory.write view idx (cell_of_rv value);
     `Next
   | "memref.dim" ->
@@ -373,7 +376,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     in
     let idx = Affine_expr.Map.eval m ~dims ~syms:[||] in
     record_access ctx op view idx;
-    record_store ctx view idx;
+    record_store ctx op view idx;
     Memory.write view idx (cell_of_rv value);
     `Next
   | "scf.for" ->
@@ -604,15 +607,17 @@ type race = {
   r_cell : int;
   r_group_a : int;
   r_group_b : int;
+  r_loc : Loc.t;  (* source location of a store that wrote the cell *)
 }
 
 exception Race_detected of race list
 
 let describe_race (r : race) =
-  Printf.sprintf "work-groups %d and %d both write %s[%d] (allocation %d)"
+  Printf.sprintf "work-groups %d and %d both write %s[%d] (allocation %d)%s"
     r.r_group_a r.r_group_b
     (if r.r_label = "" then "?" else r.r_label)
     r.r_cell r.r_aid
+    (if Loc.is_known r.r_loc then " at " ^ Loc.describe r.r_loc else "")
 
 (* Intersect per-group footprints in canonical group order: the first
    writer of each (allocation, cell) is remembered; any later writer is
@@ -629,9 +634,16 @@ let detect_races (fps : Memory.footprint array) : race list =
           match Hashtbl.find_opt first_writer key with
           | None -> Hashtbl.replace first_writer key g
           | Some g0 ->
+            (* Prefer the later writer's recorded store location; fall
+               back to the first writer's footprint. *)
+            let loc =
+              let l = Memory.footprint_loc fp key in
+              if Loc.is_known l then l
+              else Memory.footprint_loc fps.(g0) key
+            in
             races :=
               { r_label = Memory.footprint_label fp aid; r_aid = aid;
-                r_cell = cell; r_group_a = g0; r_group_b = g }
+                r_cell = cell; r_group_a = g0; r_group_b = g; r_loc = loc }
               :: !races)
         (Memory.footprint_cells fp))
     fps;

@@ -95,18 +95,26 @@ let blit ~(src : view) ~(dst : view) n =
 type footprint = {
   fp_cells : (int * int, unit) Hashtbl.t;  (** (allocation id, cell) *)
   fp_labels : (int, string) Hashtbl.t;  (** allocation id -> label *)
+  (* First writing op's source location per cell, so a race report can
+     point at the culprit store in the kernel source. *)
+  fp_locs : (int * int, Loc.t) Hashtbl.t;
 }
 
-let footprint () = { fp_cells = Hashtbl.create 64; fp_labels = Hashtbl.create 4 }
+let footprint () =
+  { fp_cells = Hashtbl.create 64; fp_labels = Hashtbl.create 4;
+    fp_locs = Hashtbl.create 64 }
 
-(** Record a write of cell [lin] (a {!linear_index} result) through [v].
+(** Record a write of cell [lin] (a {!linear_index} result) through [v],
+    remembering the writing op's location [loc] (first writer wins).
     Only global-space writes are footprinted: local and private memory
     are per-group / per-item by construction. *)
-let footprint_write (fp : footprint) (v : view) (lin : int) =
+let footprint_write ?(loc = Loc.Unknown) (fp : footprint) (v : view) (lin : int) =
   match v.base.space with
   | Types.Global ->
     let aid = v.base.aid in
     Hashtbl.replace fp.fp_cells (aid, lin) ();
+    if Loc.is_known loc && not (Hashtbl.mem fp.fp_locs (aid, lin)) then
+      Hashtbl.replace fp.fp_locs (aid, lin) loc;
     if not (Hashtbl.mem fp.fp_labels aid) then
       Hashtbl.replace fp.fp_labels aid v.base.label
   | Types.Local | Types.Private -> ()
@@ -120,3 +128,7 @@ let footprint_cells (fp : footprint) : (int * int) list =
 
 let footprint_label (fp : footprint) aid =
   Option.value ~default:"?" (Hashtbl.find_opt fp.fp_labels aid)
+
+(** Location of the (first) op that wrote a footprinted cell. *)
+let footprint_loc (fp : footprint) key =
+  Option.value ~default:Loc.Unknown (Hashtbl.find_opt fp.fp_locs key)

@@ -65,8 +65,9 @@ type footprint
 val footprint : unit -> footprint
 
 (** Record a write of cell [lin] (a {!linear_index} result) through the
-    view. Only global-space writes are recorded. *)
-val footprint_write : footprint -> view -> int -> unit
+    view, remembering the writing op's location (first writer wins).
+    Only global-space writes are recorded. *)
+val footprint_write : ?loc:Loc.t -> footprint -> view -> int -> unit
 
 (** The footprinted (allocation id, cell) pairs, sorted — deterministic
     regardless of insertion order. *)
@@ -74,3 +75,7 @@ val footprint_cells : footprint -> (int * int) list
 
 (** Label of a footprinted allocation (["?"] when unknown). *)
 val footprint_label : footprint -> int -> string
+
+(** Location of the (first) op that wrote a footprinted cell
+    ([Loc.Unknown] when none was recorded). *)
+val footprint_loc : footprint -> int * int -> Loc.t
