@@ -341,9 +341,16 @@ let run_fuzz () =
       | Error d ->
         record i "differential" (Differential.divergence_to_string d));
       (* Oracle (d): sequential vs. parallel backend determinism — the
-         full run digest (stats, profile, buffers) must be
+         full run digest (stats, metrics, profile, buffers) must be
          byte-identical under worker domains. *)
-      match Differential.check_parallel ~domains:4 w with
+      (match Differential.check_parallel ~domains:4 w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+      (* Oracle (e): telemetry neutrality — enabling timing
+         instrumentation and trace/metrics export must not change the
+         compiled IR or the run digest. *)
+      match Differential.check_telemetry_neutral w with
       | Ok () -> ()
       | Error f ->
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail

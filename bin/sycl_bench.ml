@@ -61,8 +61,43 @@ let write_profile (m : Common.measurement) path =
   Format.printf "%a@?" Sycl_sim.Profile.pp_table
     (Sycl_sim.Profile.of_events events)
 
+(** Write the merged compile + runtime + device trace: compile-phase
+    spans from the pass-timing tree on the compile lane, then the run's
+    charge timeline (shifted past them) on the host-runtime and device
+    lanes — one chrome://tracing load shows parse -> passes -> queue ops
+    -> kernel cycles. *)
+let write_trace (m : Common.measurement) (tm : Mlir.Instrument.timer) path =
+  let module Trace = Sycl_obs.Trace in
+  let sink = Trace.global in
+  Trace.reset sink;
+  Trace.add_timing ~root_name:"compile" sink (Mlir.Instrument.timing_report tm);
+  Trace.add_all sink
+    (Sycl_sim.Profile.trace_spans ~base:(Trace.span_end sink)
+       m.Common.m_result.Sycl_runtime.Host_interp.events);
+  try
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Mlir.Json.to_string (Trace.export sink) ^ "\n"));
+    Printf.printf "\nmerged trace written to %s\n" path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write trace: %s\n" msg;
+    exit 1
+
+(** Write the run's metrics registry (runtime.* counters and the
+    launch-latency histogram, sim.* device counters) as JSON. *)
+let write_metrics (m : Common.measurement) path =
+  let reg = m.Common.m_result.Sycl_runtime.Host_interp.metrics in
+  try
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc
+          (Mlir.Json.to_string (Sycl_obs.Metrics.to_json reg) ^ "\n"));
+    Printf.printf "metrics written to %s\n" path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write metrics: %s\n" msg;
+    exit 1
+
 let run list_flag bench mode compare no_licm no_reduction no_internalization
-    no_hostdev fusion profile_json sim_domains check_races =
+    no_hostdev fusion profile_json metrics_json trace_json sim_domains
+    check_races =
   if list_flag then (list_workloads (); exit 0);
   Option.iter Sycl_sim.Interp.set_default_domains sim_domains;
   if check_races then Sycl_sim.Interp.set_default_check_races true;
@@ -101,9 +136,15 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
           print_endline "AdaptiveCpp: unsupported (modeled validation failure)")
       end
       else
-        let m = Common.measure (config mode) w in
+        let tm = Mlir.Instrument.timer () in
+        let instrumentations =
+          if trace_json <> None then [ Mlir.Instrument.timing tm ] else []
+        in
+        let m = Common.measure ~instrumentations (config mode) w in
         report w m;
         Option.iter (write_profile m) profile_json;
+        Option.iter (write_trace m tm) trace_json;
+        Option.iter (write_metrics m) metrics_json;
         if not m.Common.m_valid then exit 1)
   with Sycl_sim.Interp.Race_detected races ->
     Printf.eprintf
@@ -143,6 +184,23 @@ let profile_json_arg =
               a per-kernel profile table. Single-mode runs only (not \
               $(b,--compare)).")
 
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:
+             "Write the run's metrics registry (runtime event counters, \
+              transfer bytes, launch-latency histogram with p50/p90/p99) to \
+              $(docv) as JSON. Single-mode runs only (not $(b,--compare)).")
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:
+             "Write one merged Chrome trace to $(docv): compile-phase spans, \
+              runtime queue operations and device kernel execution on \
+              separate lanes of a shared timeline. Single-mode runs only \
+              (not $(b,--compare)).")
+
 let sim_domains_arg =
   Arg.(value & opt (some int) None
        & info [ "sim-domains" ] ~docv:"N"
@@ -168,6 +226,7 @@ let cmd =
           $ flag "no-internalization" "Disable loop internalization."
           $ flag "no-host-device" "Disable host-device propagation."
           $ flag "fusion" "Enable compile-time kernel fusion."
-          $ profile_json_arg $ sim_domains_arg $ check_races_arg)
+          $ profile_json_arg $ metrics_json_arg $ trace_json_arg
+          $ sim_domains_arg $ check_races_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -71,7 +71,8 @@ let read_input = function
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
 let run passes verify stats stats_json timing remarks remarks_json
-    print_analysis dump_before dump_after debuginfo input =
+    metrics_json trace_json print_analysis dump_before dump_after debuginfo
+    input =
   Dialects.Register.init ();
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
@@ -92,11 +93,13 @@ let run passes verify stats stats_json timing remarks remarks_json
       exit 1
   in
   let file = match input with None | Some "-" -> "-" | Some path -> path in
+  let parse_started = Unix.gettimeofday () in
   match Mlir.Parser.parse_module ~file src with
   | exception Mlir.Parser.Parse_error msg ->
     Printf.eprintf "parse error: %s\n" msg;
     exit 1
   | m -> (
+    let parse_seconds = Unix.gettimeofday () -. parse_started in
     let printers =
       List.map
         (fun name ->
@@ -137,7 +140,8 @@ let run passes verify stats stats_json timing remarks remarks_json
     let tm = Mlir.Instrument.timer () in
     let lc = Mlir.Instrument.loc_coverage_log () in
     let instrumentations =
-      (if timing then [ Mlir.Instrument.timing tm ] else [])
+      (if timing || trace_json <> None then [ Mlir.Instrument.timing tm ]
+       else [])
       @ (if stats || stats_json <> None then
            [ Mlir.Instrument.loc_coverage lc ]
          else [])
@@ -220,6 +224,61 @@ let run passes verify stats stats_json timing remarks remarks_json
         with Sys_error msg ->
           Printf.eprintf "error: cannot write stats JSON: %s\n" msg;
           exit 1)
+      | None -> ());
+      (match trace_json with
+      | Some path -> (
+        (* Compile-lane trace: a parse span, then the pass pipeline laid
+           out from the timing tree — the compiler's side of the merged
+           telemetry timeline. *)
+        let module Trace = Sycl_obs.Trace in
+        let sink = Trace.global in
+        Trace.reset sink;
+        Trace.add sink
+          {
+            Trace.sp_name = "parse";
+            sp_cat = "frontend";
+            sp_lane = Trace.Compile;
+            sp_ts = 0;
+            sp_dur = max 1 (int_of_float (Float.round (parse_seconds *. 1e6)));
+            sp_args = [];
+          };
+        Trace.add_timing ~root_name:"passes" sink
+          (Mlir.Instrument.timing_report tm);
+        try
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc
+                (Mlir.Json.to_string (Trace.export sink) ^ "\n"))
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot write trace JSON: %s\n" msg;
+          exit 1)
+      | None -> ());
+      (match metrics_json with
+      | Some path -> (
+        (* Compile-side metrics registry: merged pass statistics as
+           counters, per-pass wall time as a histogram, final location
+           coverage as gauges. *)
+        let module Metrics = Sycl_obs.Metrics in
+        let reg = Metrics.create () in
+        List.iter
+          (fun (k, v) -> Metrics.incr reg ~by:v ("compile.stat." ^ k))
+          (Mlir.Pass.Stats.to_list (Mlir.Pass.merged_stats result));
+        List.iter
+          (fun ((_ : string), seconds) ->
+            Metrics.observe reg
+              ~bounds:[| 10; 100; 1_000; 10_000; 100_000; 1_000_000 |]
+              "compile.pass_wall_us"
+              (int_of_float (Float.round (seconds *. 1e6))))
+          result.Mlir.Pass.per_pass_time;
+        let known, total = Mlir.Instrument.count_locs m in
+        Metrics.set_gauge reg "compile.ops_located" known;
+        Metrics.set_gauge reg "compile.ops_total" total;
+        try
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc
+                (Mlir.Json.to_string (Metrics.to_json reg) ^ "\n"))
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot write metrics JSON: %s\n" msg;
+          exit 1)
       | None -> ())
     | exception Mlir.Pass.Pass_failed { pass; diagnostics } ->
       Printf.eprintf "pass %s failed verification:\n" pass;
@@ -270,6 +329,21 @@ let remarks_json_arg =
        & info [ "remarks-json" ] ~docv:"FILE"
            ~doc:"Write every optimization remark to $(docv) as JSON.")
 
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:
+             "Write compile-side metrics (merged pass statistics as \
+              counters, per-pass wall-time histogram, final location \
+              coverage) to $(docv) as JSON.")
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:
+             "Write a Chrome trace of the compile phase (parse span + pass \
+              pipeline spans on the compile lane) to $(docv).")
+
 let dump_before_arg =
   Arg.(value & opt (some string) None
        & info [ "dump-before" ] ~docv:"PASS"
@@ -297,7 +371,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sycl-mlir-opt" ~doc)
     Term.(const run $ passes_arg $ verify_arg $ stats_arg $ stats_json_arg
-          $ timing_arg $ remarks_arg $ remarks_json_arg $ print_analysis_arg
-          $ dump_before_arg $ dump_after_arg $ debuginfo_arg $ input_arg)
+          $ timing_arg $ remarks_arg $ remarks_json_arg $ metrics_json_arg
+          $ trace_json_arg $ print_analysis_arg $ dump_before_arg
+          $ dump_after_arg $ debuginfo_arg $ input_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -102,6 +102,8 @@ let replace_dim_getters stats kernel names (values : int list) =
       match Sycl_ops.getter_dim g with
       | Some d when d < List.length values ->
         let b = Builder.before g in
+        (* The constant replaces the getter: keep its location. *)
+        Builder.set_default_loc b g.Core.loc;
         let c = Dialects.Arith.const_index b (List.nth values d) in
         Core.replace_all_uses_with (Core.result g 0) c;
         Core.erase_op g;
@@ -192,6 +194,9 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
             List.iter
               (fun g ->
                 let b = Builder.before g in
+                (* Replacements stand in for the getter: keep its
+                   location. *)
+                Builder.set_default_loc b g.Core.loc;
                 match (g.Core.name, Sycl_ops.getter_dim g, buf_dims_const) with
                 | "sycl.accessor.get_offset", _, _ ->
                   let c = Dialects.Arith.const_index b 0 in
@@ -227,6 +232,18 @@ let propagate_site (opts : options) stats (m : Core.op) (site : launch_site) =
               | first :: _ -> Builder.before first
               | [] -> Builder.at_end entry
             in
+            (* The materialized constant carries the host-side
+               definition's location across the host/device boundary;
+               when the host IR is unlocated, fall back to the location
+               of the capture's first use inside the kernel. *)
+            let loc =
+              if Loc.is_known def.Core.loc then def.Core.loc
+              else
+                match Core.uses arg with
+                | (u, _) :: _ -> u.Core.loc
+                | [] -> kernel.Core.loc
+            in
+            Builder.set_default_loc b loc;
             let c = Dialects.Arith.constant b a arg.Core.vty in
             Core.replace_all_uses_with arg c;
             remark ~name:"capture-const" Remarks.Passed ~func:kname

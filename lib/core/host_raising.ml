@@ -18,6 +18,9 @@ let const_int_of v =
 
 let raise_call (op : Core.op) stats : bool =
   let b = Builder.before op in
+  (* Raised sycl.host.* ops replace the call they model: keep its
+     location. *)
+  Builder.set_default_loc b op.Core.loc;
   let ok repl =
     List.iteri
       (fun i r -> Core.replace_all_uses_with r (Core.result repl i))

@@ -252,6 +252,10 @@ let optimize_loop stats (uniformity : Uniformity.t option) (loop : Core.op) =
       (* Build: %guard = trip > 0 [&& distinct a b ...];
          scf.if %guard { hoisted loads; loop } else { original loop }. *)
       let b = Builder.before loop in
+      (* The guard is versioning machinery for this loop: every op it
+         adds (bound reads, compare, distinct checks, scf.if) inherits
+         the loop's source location. *)
+      Builder.set_default_loc b loop.Core.loc;
       let lb, ub = loop_bounds b loop in
       let trip_ok = Dialects.Arith.cmpi b Dialects.Arith.Slt lb ub in
       let guard =

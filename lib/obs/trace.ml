@@ -1,0 +1,179 @@
+(* Span-based tracing with a single process-wide sink.
+
+   Spans from the three layers of the stack land in one timeline with a
+   distinct lane (Chrome-trace process) per layer:
+
+     pid 1  compile       parse + pass pipeline (Instrument timing tree)
+     pid 2  host runtime  queue submits, DAG waits, transfers, JIT, launches
+     pid 3  device        kernel execution (work-groups over CUs)
+
+   so a single chrome://tracing load shows parse -> passes -> queue ops
+   -> kernel cycles end to end. Time unit is microseconds; compile-side
+   spans record real wall time, simulator-side spans use the PR 3
+   convention of one simulated cycle = one microsecond, placed after the
+   compile spans on the shared timeline. *)
+
+type lane =
+  | Compile
+  | Host
+  | Device
+
+let pid_of_lane = function Compile -> 1 | Host -> 2 | Device -> 3
+
+let lane_name = function
+  | Compile -> "compile"
+  | Host -> "host runtime"
+  | Device -> "device"
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_lane : lane;
+  sp_ts : int;  (** microseconds *)
+  sp_dur : int;  (** microseconds *)
+  sp_args : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  sk_mutex : Mutex.t;
+  mutable sk_rev : span list;  (** newest first *)
+}
+
+let make_sink () = { sk_mutex = Mutex.create (); sk_rev = [] }
+
+(** The process-wide sink the command-line tools record into; tests use
+    private {!make_sink} sinks. *)
+let global : sink = make_sink ()
+
+let reset (sk : sink) = Mutex.protect sk.sk_mutex (fun () -> sk.sk_rev <- [])
+
+let add (sk : sink) (sp : span) =
+  Mutex.protect sk.sk_mutex (fun () -> sk.sk_rev <- sp :: sk.sk_rev)
+
+let add_all (sk : sink) (sps : span list) =
+  Mutex.protect sk.sk_mutex (fun () ->
+      List.iter (fun sp -> sk.sk_rev <- sp :: sk.sk_rev) sps)
+
+(** Spans in chronological order (ties broken by lane then name, so the
+    export is deterministic). *)
+let spans (sk : sink) =
+  let sps = Mutex.protect sk.sk_mutex (fun () -> List.rev sk.sk_rev) in
+  List.stable_sort
+    (fun a b ->
+      match compare a.sp_ts b.sp_ts with
+      | 0 -> compare (pid_of_lane a.sp_lane, a.sp_name) (pid_of_lane b.sp_lane, b.sp_name)
+      | c -> c)
+    sps
+
+(** End of the recorded timeline: max of ts+dur over all spans (0 when
+    empty). Runtime spans are placed at this offset so the merged trace
+    reads compile-then-execute. *)
+let span_end (sk : sink) =
+  Mutex.protect sk.sk_mutex (fun () ->
+      List.fold_left (fun acc sp -> max acc (sp.sp_ts + sp.sp_dur)) 0 sk.sk_rev)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-side spans from the Instrument timing tree                  *)
+(* ------------------------------------------------------------------ *)
+
+let us_of_wall w = int_of_float (Float.round (w *. 1e6))
+
+(** Flatten a pass-timing tree into Compile-lane spans starting at
+    [base]: the root covers [base, base + wall), children are laid out
+    sequentially inside their parent (the pass manager runs them in
+    order, so sequential placement reflects execution). *)
+let of_timing ?(base = 0) ?(cat = "pass") ?(root_name = "compile")
+    (root : Mlir.Instrument.timing_node) : span list =
+  let acc = ref [] in
+  let emit name ts dur args =
+    if dur > 0 then
+      acc :=
+        { sp_name = name; sp_cat = cat; sp_lane = Compile; sp_ts = ts;
+          sp_dur = dur; sp_args = args }
+        :: !acc
+  in
+  let rec walk (n : Mlir.Instrument.timing_node) name ts =
+    emit name ts
+      (us_of_wall n.Mlir.Instrument.t_wall)
+      (if n.Mlir.Instrument.t_count > 1 then
+         [ ("count", n.Mlir.Instrument.t_count) ]
+       else []);
+    let cursor = ref ts in
+    List.iter
+      (fun (c : Mlir.Instrument.timing_node) ->
+        walk c c.Mlir.Instrument.t_name !cursor;
+        cursor := !cursor + us_of_wall c.Mlir.Instrument.t_wall)
+      n.Mlir.Instrument.t_children
+  in
+  walk root root_name base;
+  List.rev !acc
+
+(** Record a timing tree into [sk] at the current end of its timeline. *)
+let add_timing ?(root_name = "compile") (sk : sink)
+    (root : Mlir.Instrument.timing_node) =
+  add_all sk (of_timing ~base:(span_end sk) ~root_name root)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Within the host-runtime lane, transfers get their own thread row
+   (mirroring Sim.Profile's layout); every other lane is single-row. *)
+let tid_of_span (sp : span) =
+  match (sp.sp_lane, sp.sp_cat) with Host, "transfer" -> 2 | _ -> 1
+
+(** The merged trace as a Chrome-trace JSON document: process metadata
+    naming the three lanes, thread metadata for the transfer row, then
+    one complete event ([ph:"X"]) per span. *)
+let to_json (sps : span list) : Mlir.Json.t =
+  let open Mlir.Json in
+  let process_meta lane =
+    Obj
+      [
+        ("name", String "process_name");
+        ("ph", String "M");
+        ("pid", Int (pid_of_lane lane));
+        ("args", Obj [ ("name", String (lane_name lane)) ]);
+      ]
+  in
+  let thread_meta ~pid ~tid name =
+    Obj
+      [
+        ("name", String "thread_name");
+        ("ph", String "M");
+        ("pid", Int pid);
+        ("tid", Int tid);
+        ("args", Obj [ ("name", String name) ]);
+      ]
+  in
+  let ev (sp : span) =
+    Obj
+      [
+        ("name", String sp.sp_name);
+        ("cat", String sp.sp_cat);
+        ("ph", String "X");
+        ("ts", Int sp.sp_ts);
+        ("dur", Int sp.sp_dur);
+        ("pid", Int (pid_of_lane sp.sp_lane));
+        ("tid", Int (tid_of_span sp));
+        ("args", Obj (List.map (fun (k, v) -> (k, Int v)) sp.sp_args));
+      ]
+  in
+  let meta =
+    List.map process_meta [ Compile; Host; Device ]
+    @ [
+        thread_meta ~pid:(pid_of_lane Host) ~tid:1 "runtime";
+        thread_meta ~pid:(pid_of_lane Host) ~tid:2 "transfers";
+      ]
+  in
+  Obj
+    [
+      ("traceEvents", List (meta @ List.map ev sps));
+      ("displayTimeUnit", String "ms");
+    ]
+
+let export (sk : sink) : Mlir.Json.t = to_json (spans sk)

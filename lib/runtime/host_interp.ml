@@ -21,6 +21,7 @@ module Profile = Sycl_sim.Profile
 module Sycl_types = Sycl_core.Sycl_types
 module Sycl_host_ops = Sycl_core.Sycl_host_ops
 module Dead_arg_elim = Sycl_core.Dead_arg_elim
+module Metrics = Sycl_obs.Metrics
 
 exception Host_error of string
 
@@ -59,6 +60,9 @@ type run_result = {
   per_kernel : (string * Cost.launch_stats) list;
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
+  metrics : Metrics.registry;
+      (** runtime event counters and latency histograms ([runtime.*]),
+          plus device execution counters ([sim.*]) *)
 }
 
 type state = {
@@ -74,6 +78,7 @@ type state = {
   sim_domains : int option;  (* simulator backend knobs; None = defaults *)
   check_races : bool option;
   recorder : Profile.recorder;
+  metrics : Metrics.registry;
   mutable r_device : int;
   mutable r_launch : int;
   mutable r_transfer : int;
@@ -151,11 +156,20 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
      one launch are contiguous and interleaved launches (nested runs,
      parallel callers) cannot corrupt each other's timestamps. *)
   let sg = Profile.segment () in
-  (* Scheduler: dependency edges from the buffer/accessor model. *)
+  (* End-to-end latency of this launch: every cycle charged between
+     queue submission and device completion (observed into the
+     launch-latency histogram at the end). *)
+  let latency = ref 0 in
+  let charge c = latency := !latency + c in
+  (* Queue submit: scheduler bookkeeping + dependency edges from the
+     buffer/accessor model (the DAG waits this command group incurred). *)
   let deps = Objects.dependencies_of h.Objects.h_captures in
   st.r_deps <- st.r_deps + List.length deps;
   st.r_sched <- st.r_sched + st.params.Cost.scheduler_cycles;
-  Profile.record_seg sg ~cat:"scheduler" ~name:"command-group"
+  charge st.params.Cost.scheduler_cycles;
+  Metrics.incr st.metrics "runtime.submits";
+  Metrics.incr st.metrics ~by:(List.length deps) "runtime.dag_wait_edges";
+  Profile.record_seg sg ~cat:"submit" ~name:("submit:" ^ kernel_name)
     ~args:[ ("dependency_edges", List.length deps) ]
     ~dur:st.params.Cost.scheduler_cycles ();
   (* Data movement + argument binding. *)
@@ -173,8 +187,16 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
         let b = a.Objects.acc_buffer in
         let dev, cost = Objects.ensure_on_device st.params b in
         st.r_transfer <- st.r_transfer + cost;
+        charge cost;
+        if cost > 0 then begin
+          Metrics.incr st.metrics "runtime.transfers_h2d";
+          Metrics.incr st.metrics ~by:(Objects.buffer_bytes b)
+            "runtime.transfer_bytes_h2d"
+        end;
         Profile.record_seg sg ~cat:"transfer"
-          ~name:("h2d:" ^ b.Objects.b_host.Memory.label) ~dur:cost ();
+          ~name:("h2d:" ^ b.Objects.b_host.Memory.label)
+          ~args:[ ("bytes", Objects.buffer_bytes b) ]
+          ~dur:cost ();
         (match a.Objects.acc_mode with
         | Sycl_types.Write | Sycl_types.Read_write -> b.Objects.b_device_dirty <- true
         | Sycl_types.Read -> ());
@@ -204,8 +226,16 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
               elems;
             let cost = Cost.transfer_cycles st.params ~elems in
             st.r_transfer <- st.r_transfer + cost;
+            charge cost;
+            if cost > 0 then begin
+              Metrics.incr st.metrics "runtime.transfers_h2d";
+              Metrics.incr st.metrics ~by:(elems * Objects.elem_bytes)
+                "runtime.transfer_bytes_h2d"
+            end;
             Profile.record_seg sg ~cat:"transfer"
-              ~name:("h2d:" ^ host.Memory.label) ~dur:cost ();
+              ~name:("h2d:" ^ host.Memory.label)
+              ~args:[ ("bytes", elems * Objects.elem_bytes) ]
+              ~dur:cost ();
             Hashtbl.replace st.device_copies host.Memory.aid d;
             d
         in
@@ -217,6 +247,8 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   | Some hook when not (Hashtbl.mem st.jitted kernel_name) ->
     Hashtbl.replace st.jitted kernel_name ();
     st.r_jit <- st.r_jit + st.jit_cycles_per_kernel;
+    charge st.jit_cycles_per_kernel;
+    Metrics.incr st.metrics "runtime.jit_specializations";
     Profile.record_seg sg ~cat:"jit" ~name:("jit:" ^ kernel_name)
       ~dur:st.jit_cycles_per_kernel ();
     let pairs = ref [] in
@@ -284,19 +316,25 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   let overhead = Cost.launch_overhead st.params ~live_args in
   st.r_launch <- st.r_launch + overhead;
   st.r_launch_count <- st.r_launch_count + 1;
+  charge overhead;
+  Metrics.incr st.metrics "runtime.kernel_launches";
+  Metrics.incr st.metrics ~by:overhead "runtime.launch_overhead_cycles";
   Profile.record_seg sg ~cat:"launch" ~name:kernel_name
     ~args:[ ("live_args", live_args) ] ~dur:overhead ();
   (* Execute on the device simulator. *)
   let stats =
     Interp.launch ~params:st.params ?domains:st.sim_domains
-      ?check_races:st.check_races ~module_op:st.module_op ~kernel ~args
-      ~global ~wg_size:wg ()
+      ?check_races:st.check_races ~metrics:st.metrics
+      ~module_op:st.module_op ~kernel ~args ~global ~wg_size:wg ()
   in
   let dev_cycles = Cost.device_cycles st.params stats in
   st.r_device <- st.r_device + dev_cycles;
+  charge dev_cycles;
   Profile.record_seg sg ~cat:"kernel" ~name:kernel_name
     ~args:(Profile.breakdown st.params stats) ~dur:dev_cycles ();
   Profile.commit st.recorder sg;
+  Metrics.observe st.metrics ~bounds:Metrics.latency_bounds
+    "runtime.launch_latency_cycles" !latency;
   st.r_per_kernel <- (kernel_name, stats) :: st.r_per_kernel;
   let cmd_id = q.Objects.q_next_cmd in
   q.Objects.q_next_cmd <- cmd_id + 1;
@@ -459,8 +497,15 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
     let b = as_buffer (operand 0) in
     let cost = Objects.sync_to_host st.params b in
     st.r_transfer <- st.r_transfer + cost;
+    if cost > 0 then begin
+      Metrics.incr st.metrics "runtime.transfers_d2h";
+      Metrics.incr st.metrics ~by:(Objects.buffer_bytes b)
+        "runtime.transfer_bytes_d2h"
+    end;
     Profile.record st.recorder ~cat:"transfer"
-      ~name:("d2h:" ^ b.Objects.b_host.Memory.label) ~dur:cost ();
+      ~name:("d2h:" ^ b.Objects.b_host.Memory.label)
+      ~args:[ ("bytes", Objects.buffer_bytes b) ]
+      ~dur:cost ();
     `Next
   | "sycl.host.malloc_device" ->
     let n = as_int (operand 1) in
@@ -478,7 +523,14 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
     Memory.blit ~src ~dst n;
     let cost = Cost.transfer_cycles st.params ~elems:n in
     st.r_transfer <- st.r_transfer + cost;
-    Profile.record st.recorder ~cat:"transfer" ~name:"memcpy" ~dur:cost ();
+    if cost > 0 then begin
+      Metrics.incr st.metrics "runtime.memcpys";
+      Metrics.incr st.metrics ~by:(n * Objects.elem_bytes)
+        "runtime.memcpy_bytes"
+    end;
+    Profile.record st.recorder ~cat:"transfer" ~name:"memcpy"
+      ~args:[ ("bytes", n * Objects.elem_bytes) ]
+      ~dur:cost ();
     `Next)
   | "sycl.host.free" -> `Next
   | "func.return" -> `Yield []
@@ -512,6 +564,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
       sim_domains;
       check_races;
       recorder = Profile.recorder ();
+      metrics = Metrics.create ();
       r_device = 0;
       r_launch = 0;
       r_transfer = 0;
@@ -541,4 +594,5 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
     dependency_edges = st.r_deps;
     per_kernel = List.rev st.r_per_kernel;
     events = Profile.events st.recorder;
+    metrics = st.metrics;
   }

@@ -46,6 +46,11 @@ type run_result = {
   per_kernel : (string * Cost.launch_stats) list;
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
+  metrics : Sycl_obs.Metrics.registry;
+      (** runtime event counters and latency histograms ([runtime.*]:
+          submits, DAG-wait edges, transfer bytes by direction, launch
+          overhead, JIT specializations, launch-latency histogram) plus
+          device execution counters ([sim.*]) *)
 }
 
 (** Execute host function [main] of the module. [launch_hook], when

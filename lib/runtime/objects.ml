@@ -23,6 +23,13 @@ type buffer = {
 
 let buffer_elems (b : buffer) = Array.fold_left ( * ) 1 b.b_dims
 
+(* Simulated element width: every memory cell models a 4-byte f32/i32
+   (the cost model's [transfer_line_elems] assumes the same), so
+   telemetry can report transfer volume in bytes. *)
+let elem_bytes = 4
+
+let buffer_bytes (b : buffer) = buffer_elems b * elem_bytes
+
 type accessor = {
   acc_buffer : buffer;
   acc_mode : Sycl_types.access_mode;

@@ -22,6 +22,12 @@ type buffer = {
 
 val buffer_elems : buffer -> int
 
+(** Simulated element width in bytes (every memory cell models a 4-byte
+    f32/i32), for reporting transfer volume. *)
+val elem_bytes : int
+
+val buffer_bytes : buffer -> int
+
 type accessor = {
   acc_buffer : buffer;
   acc_mode : Sycl_types.access_mode;

@@ -674,8 +674,11 @@ let default_check_races () = Atomic.get check_races_default
 
 (** Launch [kernel] over [global]/[wg_size]. [args.(i)] binds kernel
     argument i; the item-like argument must be bound to [Item]. Returns
-    the accumulated launch statistics. *)
-let launch ?(params = Cost.default) ?domains ?check_races
+    the accumulated launch statistics. When [metrics] is given, device
+    execution counters (work-groups, work-items, barriers) are recorded
+    into it through per-domain shards merged in canonical chunk order,
+    so the registry contents are independent of the domain count. *)
+let launch ?(params = Cost.default) ?domains ?check_races ?metrics
     ~(module_op : Core.op) ~(kernel : Core.op) ~(args : rv array)
     ~(global : int list) ~(wg_size : int list) () : Cost.launch_stats =
   let domains =
@@ -779,12 +782,29 @@ let launch ?(params = Cost.default) ?domains ?check_races
     flush_wg wg items_per_group
   in
   let d = min domains n_groups in
-  if d <= 1 then
+  (* One metrics shard per worker (shard 0 doubles as the sequential
+     backend's); workers write only their own shard, and the owner folds
+     them in index order after joining. *)
+  let sharded =
+    Option.map
+      (fun _ -> Sycl_obs.Metrics.Sharded.create (max 1 d))
+      metrics
+  in
+  let record_shard (r : Sycl_obs.Metrics.registry) (s : Cost.launch_stats) =
+    Sycl_obs.Metrics.incr r ~by:s.Cost.work_groups "sim.work_groups";
+    Sycl_obs.Metrics.incr r ~by:s.Cost.work_items "sim.work_items";
+    Sycl_obs.Metrics.incr r ~by:s.Cost.barriers "sim.barriers"
+  in
+  if d <= 1 then begin
     (* Sequential backend: groups in canonical order into the shared
        stats record. *)
     for g = 0 to n_groups - 1 do
       run_group stats g
-    done
+    done;
+    match sharded with
+    | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh 0) stats
+    | None -> ()
+  end
   else begin
     (* Parallel backend: balanced contiguous chunks of the canonical
        group order, one worker domain per chunk. Each worker accumulates
@@ -809,6 +829,11 @@ let launch ?(params = Cost.default) ?domains ?check_races
            incr g
          done
        with e -> failure := Some (!g, e));
+      (* Worker-private shard: recorded inside the worker domain, no
+         contention with the other chunks. *)
+      (match sharded with
+      | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh i) s
+      | None -> ());
       (s, !failure)
     in
     let workers =
@@ -828,6 +853,9 @@ let launch ?(params = Cost.default) ?domains ?check_races
     in
     match first_failure with Some (_, e) -> raise e | None -> ()
   end;
+  (match (metrics, sharded) with
+  | Some reg, Some sh -> Sycl_obs.Metrics.Sharded.merge_into ~into:reg sh
+  | _ -> ());
   (match footprints with
   | Some fps ->
     let races = detect_races fps in

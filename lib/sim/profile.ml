@@ -11,7 +11,7 @@
 type event = {
   ev_name : string;
   ev_cat : string;
-      (** "scheduler" | "transfer" | "jit" | "launch" | "kernel" *)
+      (** "submit" | "transfer" | "jit" | "launch" | "kernel" *)
   ev_ts : int;  (** start, in simulated cycles *)
   ev_dur : int;  (** duration, in simulated cycles *)
   ev_args : (string * int) list;
@@ -227,7 +227,7 @@ let pp_table fmt (ps : kernel_profile list) =
 let tid_of_cat = function
   | "kernel" -> 3
   | "transfer" -> 2
-  | _ -> 1 (* scheduler / launch / jit: host runtime *)
+  | _ -> 1 (* submit / launch / jit: host runtime *)
 
 let thread_names = [ (1, "host runtime"); (2, "transfers"); (3, "device") ]
 
@@ -267,3 +267,26 @@ let to_chrome_json (evs : event list) : string =
          ("displayTimeUnit", String "ms");
        ])
   ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Conversion into the unified telemetry trace                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Simulator events as {!Sycl_obs.Trace} spans, shifted by [base]
+    microseconds so they sit after the compile-lane spans on the merged
+    timeline. Kernel execution goes on the device lane; everything else
+    (submit, transfer, jit, launch overhead) is host-runtime work. *)
+let trace_spans ?(base = 0) (evs : event list) : Sycl_obs.Trace.span list =
+  List.map
+    (fun (e : event) ->
+      {
+        Sycl_obs.Trace.sp_name = e.ev_name;
+        sp_cat = e.ev_cat;
+        sp_lane =
+          (if e.ev_cat = "kernel" then Sycl_obs.Trace.Device
+           else Sycl_obs.Trace.Host);
+        sp_ts = base + e.ev_ts;
+        sp_dur = e.ev_dur;
+        sp_args = e.ev_args;
+      })
+    evs

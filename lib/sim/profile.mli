@@ -8,7 +8,7 @@
 type event = {
   ev_name : string;
   ev_cat : string;
-      (** "scheduler" | "transfer" | "jit" | "launch" | "kernel" *)
+      (** "submit" | "transfer" | "jit" | "launch" | "kernel" *)
   ev_ts : int;  (** start, in simulated cycles *)
   ev_dur : int;  (** duration, in simulated cycles *)
   ev_args : (string * int) list;
@@ -91,3 +91,8 @@ val pp_table : Format.formatter -> kernel_profile list -> unit
 (** Serialize as a Chrome-trace JSON document ([traceEvents], complete
     events [ph:"X"], one process with host/transfer/device rows). *)
 val to_chrome_json : event list -> string
+
+(** Simulator events as unified-telemetry trace spans, shifted by [base]
+    microseconds: cat ["kernel"] events land on the device lane, all
+    other charges on the host-runtime lane. *)
+val trace_spans : ?base:int -> event list -> Sycl_obs.Trace.span list

@@ -9,8 +9,12 @@
 open Mlir
 module Host_interp = Sycl_runtime.Host_interp
 module Cost = Sycl_sim.Cost
+module Metrics = Sycl_obs.Metrics
 
-let schema_version = 1
+(* v2: every config carries a "metrics" section (transfer bytes by
+   direction, DAG-wait edge count, launch-latency percentiles) fed by
+   the runtime telemetry registry. *)
+let schema_version = 2
 
 type config_metrics = {
   cm_cycles : int;
@@ -20,6 +24,13 @@ type config_metrics = {
   cm_kernel_launches : int;
   cm_global_transactions : int;
   cm_local_transactions : int;
+  (* Telemetry (the v2 "metrics" section). *)
+  cm_transfer_bytes_h2d : int;
+  cm_transfer_bytes_d2h : int;
+  cm_dag_wait_edges : int;
+  cm_launch_p50 : int;  (** launch-latency percentiles, in cycles *)
+  cm_launch_p90 : int;
+  cm_launch_p99 : int;
 }
 
 type entry = {
@@ -48,6 +59,11 @@ let metrics_of (m : Common.measurement) : config_metrics =
   let sum f =
     List.fold_left (fun acc (_, s) -> acc + f s) 0 res.Host_interp.per_kernel
   in
+  let reg = res.Host_interp.metrics in
+  let pct p =
+    Option.value ~default:0
+      (Metrics.percentile reg "runtime.launch_latency_cycles" p)
+  in
   {
     cm_cycles = m.Common.m_cycles;
     cm_valid = m.Common.m_valid;
@@ -56,6 +72,12 @@ let metrics_of (m : Common.measurement) : config_metrics =
     cm_kernel_launches = res.Host_interp.kernel_launches;
     cm_global_transactions = sum (fun s -> s.Cost.global_transactions);
     cm_local_transactions = sum (fun s -> s.Cost.local_transactions);
+    cm_transfer_bytes_h2d = Metrics.counter_value reg "runtime.transfer_bytes_h2d";
+    cm_transfer_bytes_d2h = Metrics.counter_value reg "runtime.transfer_bytes_d2h";
+    cm_dag_wait_edges = Metrics.counter_value reg "runtime.dag_wait_edges";
+    cm_launch_p50 = pct 50.0;
+    cm_launch_p90 = pct 90.0;
+    cm_launch_p99 = pct 99.0;
   }
 
 let entry_of_comparison (c : Common.comparison) : entry =
@@ -94,7 +116,17 @@ let metrics_to_json (m : config_metrics) : Json.t =
       ("transfer_cycles", Json.Int m.cm_transfer_cycles);
       ("kernel_launches", Json.Int m.cm_kernel_launches);
       ("global_transactions", Json.Int m.cm_global_transactions);
-      ("local_transactions", Json.Int m.cm_local_transactions) ]
+      ("local_transactions", Json.Int m.cm_local_transactions);
+      ( "metrics",
+        Json.Obj
+          [ ("transfer_bytes_h2d", Json.Int m.cm_transfer_bytes_h2d);
+            ("transfer_bytes_d2h", Json.Int m.cm_transfer_bytes_d2h);
+            ("dag_wait_edges", Json.Int m.cm_dag_wait_edges);
+            ( "launch_latency",
+              Json.Obj
+                [ ("p50", Json.Int m.cm_launch_p50);
+                  ("p90", Json.Int m.cm_launch_p90);
+                  ("p99", Json.Int m.cm_launch_p99) ] ) ] ) ]
 
 let entry_to_json (e : entry) : Json.t =
   Json.Obj
@@ -127,6 +159,8 @@ let get_str j name = req name (Option.bind (Json.member name j) Json.as_string)
 let get_bool j name = req name (Option.bind (Json.member name j) Json.as_bool)
 
 let metrics_of_json (j : Json.t) : config_metrics =
+  let mj = req "metrics" (Json.member "metrics" j) in
+  let lat = req "launch_latency" (Json.member "launch_latency" mj) in
   {
     cm_cycles = get_int j "cycles";
     cm_valid = get_bool j "valid";
@@ -135,6 +169,12 @@ let metrics_of_json (j : Json.t) : config_metrics =
     cm_kernel_launches = get_int j "kernel_launches";
     cm_global_transactions = get_int j "global_transactions";
     cm_local_transactions = get_int j "local_transactions";
+    cm_transfer_bytes_h2d = get_int mj "transfer_bytes_h2d";
+    cm_transfer_bytes_d2h = get_int mj "transfer_bytes_d2h";
+    cm_dag_wait_edges = get_int mj "dag_wait_edges";
+    cm_launch_p50 = get_int lat "p50";
+    cm_launch_p90 = get_int lat "p90";
+    cm_launch_p99 = get_int lat "p99";
   }
 
 let entry_of_json (j : Json.t) : entry =
@@ -185,6 +225,7 @@ let of_json (s : string) : report =
 
 type issue_kind =
   | Cycle_regression
+  | Latency_regression  (** a launch-latency percentile grew past tolerance *)
   | Validity_regression
   | Missing_workload
   | Missing_config
@@ -200,10 +241,11 @@ let issue_to_string (i : issue) =
   if i.i_config = "" then Printf.sprintf "%s: %s" i.i_workload i.i_detail
   else Printf.sprintf "%s [%s]: %s" i.i_workload i.i_config i.i_detail
 
-(** Compare [current] against [baseline]: cycle counts may grow by at
-    most [tolerance] (a fraction, default 5%), validity must not regress,
-    and every baseline workload/config must still be present. New
-    workloads and improvements are fine. *)
+(** Compare [current] against [baseline]: cycle counts and
+    launch-latency percentiles may grow by at most [tolerance] (a
+    fraction, default 5%), validity must not regress, and every baseline
+    workload/config must still be present. New workloads and
+    improvements are fine. *)
 let compare_reports ?(tolerance = 0.05) ~(baseline : report)
     (current : report) : issue list =
   let issues = ref [] in
@@ -230,24 +272,31 @@ let compare_reports ?(tolerance = 0.05) ~(baseline : report)
                   i_config = cfg;
                   i_detail = "configuration missing from the new report" }
             | Some new_m ->
-              let budget =
+              let budget_of v =
                 int_of_float
-                  (Float.round
-                     (float_of_int old_m.cm_cycles *. (1.0 +. tolerance)))
+                  (Float.round (float_of_int v *. (1.0 +. tolerance)))
               in
-              if new_m.cm_cycles > budget then
-                add
-                  { i_kind = Cycle_regression; i_workload = old_e.e_name;
-                    i_config = cfg;
-                    i_detail =
-                      Printf.sprintf
-                        "cycles regressed %d -> %d (+%.1f%%, tolerance %.1f%%)"
-                        old_m.cm_cycles new_m.cm_cycles
-                        (100.0
-                        *. (float_of_int new_m.cm_cycles
-                            /. float_of_int (max 1 old_m.cm_cycles)
-                           -. 1.0))
-                        (100.0 *. tolerance) };
+              let gate kind what old_v new_v =
+                if new_v > budget_of old_v then
+                  add
+                    { i_kind = kind; i_workload = old_e.e_name;
+                      i_config = cfg;
+                      i_detail =
+                        Printf.sprintf
+                          "%s regressed %d -> %d (+%.1f%%, tolerance %.1f%%)"
+                          what old_v new_v
+                          (100.0
+                          *. (float_of_int new_v /. float_of_int (max 1 old_v)
+                             -. 1.0))
+                          (100.0 *. tolerance) }
+              in
+              gate Cycle_regression "cycles" old_m.cm_cycles new_m.cm_cycles;
+              gate Latency_regression "launch latency p50"
+                old_m.cm_launch_p50 new_m.cm_launch_p50;
+              gate Latency_regression "launch latency p90"
+                old_m.cm_launch_p90 new_m.cm_launch_p90;
+              gate Latency_regression "launch latency p99"
+                old_m.cm_launch_p99 new_m.cm_launch_p99;
               if old_m.cm_valid && not new_m.cm_valid then
                 add
                   { i_kind = Validity_regression; i_workload = old_e.e_name;

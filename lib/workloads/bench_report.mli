@@ -11,6 +11,13 @@ type config_metrics = {
   cm_kernel_launches : int;
   cm_global_transactions : int;
   cm_local_transactions : int;
+  (* Telemetry (the v2 "metrics" section). *)
+  cm_transfer_bytes_h2d : int;
+  cm_transfer_bytes_d2h : int;
+  cm_dag_wait_edges : int;
+  cm_launch_p50 : int;  (** launch-latency percentiles, in cycles *)
+  cm_launch_p90 : int;
+  cm_launch_p99 : int;
 }
 
 type entry = {
@@ -44,6 +51,7 @@ val of_json : string -> report
 
 type issue_kind =
   | Cycle_regression
+  | Latency_regression  (** a launch-latency percentile grew past tolerance *)
   | Validity_regression
   | Missing_workload
   | Missing_config
@@ -58,7 +66,7 @@ type issue = {
 val issue_to_string : issue -> string
 
 (** Issues in [current] relative to [baseline]; empty means the gate
-    passes. [tolerance] is the permitted fractional cycle growth
-    (default 0.05). *)
+    passes. [tolerance] is the permitted fractional growth for cycles
+    and launch-latency percentiles (default 0.05). *)
 val compare_reports :
   ?tolerance:float -> baseline:report -> report -> issue list

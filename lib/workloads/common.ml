@@ -99,13 +99,15 @@ type measurement = {
 exception Unsupported of string
 
 (** Compile and execute [w] under [cfg]; the measured run excludes JIT
-    warm-up (the paper's methodology discards the first run). *)
-let measure ?(params = Cost.default) (cfg : Driver.config) (w : workload) :
-    measurement =
+    warm-up (the paper's methodology discards the first run).
+    [instrumentations] are installed around every compile pass (how the
+    bench driver collects compile-phase timing for the merged trace). *)
+let measure ?(params = Cost.default) ?(instrumentations = [])
+    (cfg : Driver.config) (w : workload) : measurement =
   if cfg.Driver.mode = Driver.Adaptive_cpp && not w.w_acpp_ok then
     raise (Unsupported w.w_name);
   let m = w.w_module () in
-  let compiled = Driver.compile cfg m in
+  let compiled = Driver.compile ~instrumentations cfg m in
   let launch_hook, jit_cycles =
     match cfg.Driver.mode with
     | Driver.Adaptive_cpp ->

@@ -102,16 +102,14 @@ let check ?(tol = 1e-3) (w : Common.workload) : (unit, divergence) result =
 (* ------------------------------------------------------------------ *)
 
 (* Render everything observable about a run — cost counters, per-kernel
-   launch statistics, the profile timeline, and every output buffer
-   bit-for-bit (hex floats) — so any divergence between the sequential
-   and parallel simulator backends shows up as a byte difference. *)
-let run_digest (w : Common.workload) ~(domains : int) : string =
+   launch statistics, the metrics registry (as canonical JSON, so counter
+   and percentile determinism is part of the contract), the profile
+   timeline, and every output buffer bit-for-bit (hex floats) — so any
+   divergence between two runs shows up as a byte difference. *)
+let render_digest (r : Common.Host_interp.run_result)
+    (args : Common.Host_interp.hv list) ~(valid : bool) : string =
   let module H = Common.Host_interp in
   let module P = Sycl_sim.Profile in
-  let m = w.Common.w_module () in
-  ignore (Pass.run_pipeline ~verify_each:false (full_pipeline ()) m);
-  let args, validate = w.Common.w_data () in
-  let r = H.run ~sim_domains:domains ~module_op:m args in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -119,7 +117,7 @@ let run_digest (w : Common.workload) ~(domains : int) : string =
         launches=%d deps=%d valid=%b\n"
        r.H.total_cycles r.H.device_cycles r.H.launch_overhead_cycles
        r.H.transfer_cycles r.H.scheduler_cycles r.H.jit_cycles
-       r.H.kernel_launches r.H.dependency_edges (validate ()));
+       r.H.kernel_launches r.H.dependency_edges valid);
   List.iter
     (fun (name, s) ->
       Buffer.add_string buf
@@ -148,7 +146,18 @@ let run_digest (w : Common.workload) ~(domains : int) : string =
         Buffer.add_char buf '\n'
       | _ -> ())
     args;
+  Buffer.add_string buf
+    (Json.to_string (Sycl_obs.Metrics.to_json r.H.metrics));
+  Buffer.add_char buf '\n';
   Buffer.contents buf
+
+let run_digest (w : Common.workload) ~(domains : int) : string =
+  let module H = Common.Host_interp in
+  let m = w.Common.w_module () in
+  ignore (Pass.run_pipeline ~verify_each:false (full_pipeline ()) m);
+  let args, validate = w.Common.w_data () in
+  let r = H.run ~sim_domains:domains ~module_op:m args in
+  render_digest r args ~valid:(validate ())
 
 (** Sequential-vs-parallel determinism: the full run digest under
     [domains] worker domains must be byte-identical to the sequential
@@ -168,6 +177,67 @@ let check_parallel ?(domains = 4) (w : Common.workload) :
   | reference, subject ->
     Difftest.check_deterministic ~oracle:"determinism"
       ~what:(w.Common.w_name ^ " run digest") ~reference ~subject ()
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (e): telemetry neutrality                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile and run [w], optionally with pass-timing instrumentation
+   installed and the merged trace + metrics JSON rendered (and
+   discarded). Returns the compiled IR text and the full run digest. *)
+let telemetry_run (w : Common.workload) ~(telemetry : bool) : string * string =
+  let module H = Common.Host_interp in
+  let m = w.Common.w_module () in
+  let tm = Instrument.timer () in
+  let instrumentations = if telemetry then [ Instrument.timing tm ] else [] in
+  ignore
+    (Pass.run_pipeline ~verify_each:false ~instrumentations (full_pipeline ())
+       m);
+  let ir = Printer.to_string m in
+  let args, validate = w.Common.w_data () in
+  let r = H.run ~module_op:m args in
+  if telemetry then begin
+    (* Exercise the export paths too: render the merged trace and the
+       metrics JSON exactly as the CLI tools would. *)
+    let sink = Sycl_obs.Trace.make_sink () in
+    Sycl_obs.Trace.add_timing sink (Instrument.timing_report tm);
+    Sycl_obs.Trace.add_all sink
+      (Sycl_sim.Profile.trace_spans ~base:(Sycl_obs.Trace.span_end sink)
+         r.H.events);
+    ignore (Json.to_string (Sycl_obs.Trace.export sink));
+    ignore (Json.to_string (Sycl_obs.Metrics.to_json r.H.metrics))
+  end;
+  (ir, render_digest r args ~valid:(validate ()))
+
+(** Telemetry must observe, never perturb: compiling and running with
+    timing instrumentation plus trace/metrics export enabled must leave
+    the compiled IR and the full run digest byte-identical to a plain
+    run. *)
+let check_telemetry_neutral (w : Common.workload) :
+    (unit, Difftest.failure) result =
+  match
+    (telemetry_run w ~telemetry:false, telemetry_run w ~telemetry:true)
+  with
+  | exception e ->
+    Error
+      {
+        Difftest.f_oracle = "telemetry-neutral";
+        f_detail =
+          Printf.sprintf "%s: execution raised %s" w.Common.w_name
+            (Printexc.to_string e);
+        f_ir = None;
+      }
+  | (ref_ir, ref_digest), (tel_ir, tel_digest) -> (
+    match
+      Difftest.check_deterministic ~oracle:"telemetry-neutral"
+        ~what:(w.Common.w_name ^ " compiled IR") ~reference:ref_ir
+        ~subject:tel_ir ()
+    with
+    | Error _ as e -> e
+    | Ok () ->
+      Difftest.check_deterministic ~oracle:"telemetry-neutral"
+        ~what:(w.Common.w_name ^ " run digest") ~reference:ref_digest
+        ~subject:tel_digest ())
 
 (* ------------------------------------------------------------------ *)
 (* Randomized workload selection for the fuzz loop                     *)

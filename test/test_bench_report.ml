@@ -5,7 +5,8 @@
 module BR = Sycl_workloads.Bench_report
 module W = Sycl_workloads
 
-let metrics ?(cycles = 1000) ?(valid = true) () : BR.config_metrics =
+let metrics ?(cycles = 1000) ?(valid = true) ?(p99 = 800) () :
+    BR.config_metrics =
   {
     BR.cm_cycles = cycles;
     cm_valid = valid;
@@ -14,6 +15,12 @@ let metrics ?(cycles = 1000) ?(valid = true) () : BR.config_metrics =
     cm_kernel_launches = 1;
     cm_global_transactions = 64;
     cm_local_transactions = 8;
+    cm_transfer_bytes_h2d = 4096;
+    cm_transfer_bytes_d2h = 1024;
+    cm_dag_wait_edges = 2;
+    cm_launch_p50 = min 500 p99;
+    cm_launch_p90 = min 700 p99;
+    cm_launch_p99 = p99;
   }
 
 let entry ?(name = "w") ?(configs = []) () : BR.entry =
@@ -123,7 +130,26 @@ let tests_list =
         bad "{\"schema_version\": 999, \"label\": \"x\", \"workloads\": []}";
         bad "{\"label\": \"x\", \"workloads\": []}";
         bad
-          "{\"schema_version\": 1, \"label\": \"x\", \"workloads\": [{\"name\": 3}]}");
+          (Printf.sprintf
+             "{\"schema_version\": %d, \"label\": \"x\", \"workloads\": \
+              [{\"name\": 3}]}"
+             BR.schema_version));
+    Alcotest.test_case "injected percentile regression fails the gate" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        let worse =
+          report ~label:"new"
+            [ entry ~name:"w"
+                ~configs:
+                  [ ("dpcpp", metrics ());
+                    ("sycl-mlir", metrics ~cycles:900 ~p99:2000 ()) ]
+                () ]
+        in
+        let issues = BR.compare_reports ~baseline:base worse in
+        Alcotest.(check bool) "latency issue" true
+          (List.mem BR.Latency_regression (kinds issues));
+        Alcotest.(check bool) "no cycle issue" false
+          (List.mem BR.Cycle_regression (kinds issues)));
     Alcotest.test_case "measured snapshot round-trips and self-compares clean"
       `Slow (fun () ->
         Helpers.init ();
