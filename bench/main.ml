@@ -281,8 +281,12 @@ let run_fusion () =
     (a) print→parse→print fixpoint on every generated module,
     (b) verifier acceptance after every pass of the SYCL-MLIR pipeline,
     (c) simulator differential (optimized vs. unoptimized) on randomized
-        ND-ranges, with pass bisection naming the first divergent pass.
-    Oracles (b)/(c) run on workload modules every [--diff-every]
+        ND-ranges, with pass bisection naming the first divergent pass,
+    (d) sequential-vs-parallel run-digest determinism,
+    (e) telemetry neutrality,
+    (f) compile-service cache coherence (cold, coalesced and cached
+        compiles byte-identical to a direct pipeline run).
+    Oracles (b)–(f) run on workload modules every [--diff-every]
     iterations; oracle (a) runs on a fresh random module every
     iteration. *)
 let run_fuzz () =
@@ -350,7 +354,14 @@ let run_fuzz () =
       (* Oracle (e): telemetry neutrality — enabling timing
          instrumentation and trace/metrics export must not change the
          compiled IR or the run digest. *)
-      match Differential.check_telemetry_neutral w with
+      (match Differential.check_telemetry_neutral w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+      (* Oracle (f): compile-service cache coherence — cold, coalesced
+         and cached compiles through a multi-domain service must be
+         byte-identical to a direct pipeline run. *)
+      match Differential.check_service_cache w with
       | Ok () -> ()
       | Error f ->
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail

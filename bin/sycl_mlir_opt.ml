@@ -17,10 +17,24 @@
                          reports to stderr
      --dump-after=P      print the IR after pass P ("all" for every pass)
      --dump-before=P     likewise, before
-     --mlir-print-debuginfo  print a trailing loc(...) on every op *)
+     --mlir-print-debuginfo  print a trailing loc(...) on every op
+
+   Service modes (the long-lived compile service, lib/service):
+     --batch             compile many modules concurrently through one
+                         pipeline with a content-addressed result cache.
+                         Inputs: files, directories (their *.mlir files,
+                         sorted), or "-" (stdin split on `// -----` lines).
+     --serve             read `// -----`-separated modules from stdin one
+                         at a time, answer each on stdout (same cache)
+     --jobs N            worker domains (default: recommended count)
+     --repeat N          sweep the batch N times (cache-hit demo/CI)
+     --cache-size N      result-cache capacity (LRU beyond it)
+     --out-dir DIR       write each result to DIR/<basename> instead of
+                         stdout; bytes identical to a single-shot run *)
 
 open Cmdliner
 module Driver = Sycl_core.Driver
+module Service = Sycl_service.Service
 
 let pass_of_name = function
   | "canonicalize" -> Some Sycl_core.Canonicalize.pass
@@ -70,9 +84,212 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
+(* ---------------- service modes (--batch / --serve) ---------------- *)
+
+let is_separator line = String.trim line = "// -----"
+
+(* Split a multi-module stream on `// -----` lines (mlir-opt's
+   -split-input-file convention). Blank chunks are dropped. *)
+let split_modules src =
+  let flush acc chunk =
+    let text = String.concat "\n" (List.rev chunk) in
+    if String.trim text = "" then acc else text :: acc
+  in
+  let rec go acc chunk = function
+    | [] -> List.rev (flush acc chunk)
+    | line :: rest ->
+      if is_separator line then go (flush acc chunk) [] rest
+      else go acc (line :: chunk) rest
+  in
+  go [] [] (String.split_on_char '\n' src)
+
+let requests_of_inputs inputs =
+  let of_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> [ { Service.rq_name = path; rq_text = text } ]
+    | exception Sys_error msg ->
+      Printf.eprintf "error: cannot read input: %s\n" msg;
+      exit 1
+  in
+  let inputs = if inputs = [] then [ "-" ] else inputs in
+  List.concat_map
+    (fun input ->
+      if input = "-" then
+        List.mapi
+          (fun i text ->
+            { Service.rq_name = Printf.sprintf "<stdin>#%d" (i + 1);
+              rq_text = text })
+          (split_modules (In_channel.input_all stdin))
+      else if Sys.file_exists input && Sys.is_directory input then
+        Sys.readdir input |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+        |> List.sort String.compare
+        |> List.concat_map (fun f -> of_file (Filename.concat input f))
+      else of_file input)
+    inputs
+
+let write_out_dir dir (rs : Service.response) text =
+  (if not (Sys.file_exists dir) then
+     try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = Filename.concat dir (Filename.basename rs.Service.rs_name) in
+  try Out_channel.with_open_text path (fun oc -> output_string oc (text ^ "\n"))
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s: %s\n" path msg;
+    exit 1
+
+(* One line per round so CI (and humans) can grep the hit rate; counters
+   are cumulative in the registry, so each round reports the delta. *)
+let round_summary reg ~round ~modules ~wall_us ~before:(h0, m0, e0) =
+  let module Metrics = Sycl_obs.Metrics in
+  let hits = Metrics.counter_value reg "service.cache_hits" - h0 in
+  let misses = Metrics.counter_value reg "service.cache_misses" - m0 in
+  let evictions = Metrics.counter_value reg "service.cache_evictions" - e0 in
+  let rate =
+    if hits + misses = 0 then 0.0
+    else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.eprintf
+    "// service: round %d: %d modules, %d hits / %d misses (hit rate \
+     %.1f%%), %d evictions, wall %d us, %.1f modules/s\n\
+     %!"
+    round modules hits misses rate evictions wall_us
+    (float_of_int modules *. 1e6 /. float_of_int (max 1 wall_us))
+
+let counters reg =
+  let module Metrics = Sycl_obs.Metrics in
+  ( Metrics.counter_value reg "service.cache_hits",
+    Metrics.counter_value reg "service.cache_misses",
+    Metrics.counter_value reg "service.cache_evictions" )
+
+let run_batch_mode service ~repeat ~out_dir inputs =
+  let requests = requests_of_inputs inputs in
+  if requests = [] then begin
+    Printf.eprintf "error: no input modules\n";
+    exit 1
+  end;
+  let reg = Service.metrics service in
+  let failed = ref false in
+  for round = 1 to max 1 repeat do
+    let before = counters reg in
+    let t0 = Unix.gettimeofday () in
+    let responses = Service.run_batch service requests in
+    let wall_us =
+      max 1 (int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1e6)))
+    in
+    round_summary reg ~round ~modules:(List.length requests) ~wall_us ~before;
+    if round = 1 then
+      List.iteri
+        (fun i rs ->
+          match rs.Service.rs_outcome with
+          | Service.Success text -> (
+            match out_dir with
+            | Some dir -> write_out_dir dir rs text
+            | None ->
+              if i > 0 then print_string "// -----\n";
+              print_string text;
+              print_newline ())
+          | Service.Failure msg ->
+            failed := true;
+            Printf.eprintf "// error: %s: %s\n" rs.Service.rs_name msg)
+        responses
+  done;
+  !failed
+
+let run_serve_mode service =
+  let reg = Service.metrics service in
+  let failed = ref false in
+  let count = ref 0 in
+  let eof = ref false in
+  let t0 = Unix.gettimeofday () in
+  while not !eof do
+    let buf = Buffer.create 256 in
+    let rec fill () =
+      match In_channel.input_line stdin with
+      | None -> eof := true
+      | Some line when is_separator line -> ()
+      | Some line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        fill ()
+    in
+    fill ();
+    let text = Buffer.contents buf in
+    if String.trim text <> "" then begin
+      incr count;
+      let rs =
+        Service.compile_one service
+          { Service.rq_name = Printf.sprintf "<stdin>#%d" !count;
+            rq_text = text }
+      in
+      (match rs.Service.rs_outcome with
+      | Service.Success s ->
+        print_string s;
+        print_newline ()
+      | Service.Failure msg ->
+        failed := true;
+        Printf.printf "// error: %s\n" msg);
+      print_string "// -----\n";
+      flush stdout
+    end
+  done;
+  let wall_us =
+    max 1 (int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1e6)))
+  in
+  if !count > 0 then
+    round_summary reg ~round:1 ~modules:!count ~wall_us ~before:(0, 0, 0);
+  !failed
+
+let run_service ~serve ~jobs ~repeat ~cache_size ~out_dir ~metrics_json
+    ~remarks ~remark_filter ~remarks_json ~verify pipeline inputs =
+  let pipeline_key = Service.pipeline_key_of_passes pipeline in
+  let service =
+    Service.create ~cache_capacity:cache_size
+      ?workers:(if jobs > 0 then Some jobs else None)
+      ~verify_each:verify ~pipeline ~pipeline_key ()
+  in
+  let all_remarks = ref [] in
+  let sink r =
+    all_remarks := r :: !all_remarks;
+    match remark_filter with
+    | Some rx when Str.string_match rx r.Mlir.Remarks.r_pass 0 ->
+      Printf.eprintf "%s\n%!" (Mlir.Remarks.to_string r)
+    | _ -> ()
+  in
+  let body () =
+    if serve then run_serve_mode service
+    else run_batch_mode service ~repeat ~out_dir inputs
+  in
+  let failed =
+    if remarks <> None || remarks_json <> None then
+      Mlir.Remarks.with_sink sink body
+    else body ()
+  in
+  (match remarks_json with
+  | Some path -> (
+    try
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Mlir.Remarks.list_to_json (List.rev !all_remarks)))
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot write remarks JSON: %s\n" msg;
+      exit 1)
+  | None -> ());
+  (match metrics_json with
+  | Some path -> (
+    let module Metrics = Sycl_obs.Metrics in
+    try
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Mlir.Json.to_string (Metrics.to_json (Service.metrics service))
+            ^ "\n"))
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot write metrics JSON: %s\n" msg;
+      exit 1)
+  | None -> ());
+  exit (if failed then 1 else 0)
+
 let run passes verify stats stats_json timing remarks remarks_json
     metrics_json trace_json print_analysis dump_before dump_after debuginfo
-    input =
+    batch serve jobs repeat cache_size out_dir inputs =
   Dialects.Register.init ();
   Sycl_core.Sycl_ops.init ();
   Sycl_core.Sycl_host_ops.init ();
@@ -80,10 +297,46 @@ let run passes verify stats stats_json timing remarks remarks_json
   (* `--remarks FILE` (unglued): cmdliner hands FILE to --remarks even
      though its value is optional. When it names an existing file and no
      positional input was given, the user meant it as the input. *)
-  let remarks, input =
-    match (remarks, input) with
-    | Some s, None when Sys.file_exists s -> (Some "", Some s)
-    | _ -> (remarks, input)
+  let remarks, inputs =
+    match (remarks, inputs) with
+    | Some s, [] when Sys.file_exists s -> (Some "", [ s ])
+    | _ -> (remarks, inputs)
+  in
+  let remark_filter =
+    match Option.map Str.regexp remarks with
+    | f -> f
+    | exception Failure msg ->
+      Printf.eprintf "error: bad --remarks regex: %s\n" msg;
+      exit 2
+  in
+  if batch || serve then begin
+    if batch && serve then begin
+      Printf.eprintf "error: --batch and --serve are mutually exclusive\n";
+      exit 2
+    end;
+    if debuginfo then begin
+      Printf.eprintf
+        "error: --mlir-print-debuginfo is not supported in service mode \
+         (cached output must be canonical)\n";
+      exit 2
+    end;
+    if print_analysis <> [] then begin
+      Printf.eprintf "error: --print-analysis is not supported in service mode\n";
+      exit 2
+    end;
+    run_service ~serve ~jobs ~repeat ~cache_size ~out_dir ~metrics_json
+      ~remarks ~remark_filter ~remarks_json ~verify (resolve_pipeline passes)
+      inputs
+  end;
+  let input =
+    match inputs with
+    | [] -> None
+    | [ x ] -> Some x
+    | _ ->
+      Printf.eprintf
+        "error: multiple input files need --batch (single-shot mode takes \
+         one)\n";
+      exit 2
   in
   let src =
     match read_input input with
@@ -116,13 +369,6 @@ let run passes verify stats stats_json timing remarks remarks_json
        -Rpass=REGEX, matched against the pass name); the JSON document
        always carries every remark. *)
     let all_remarks = ref [] in
-    let remark_filter =
-      match Option.map Str.regexp remarks with
-      | f -> f
-      | exception Failure msg ->
-        Printf.eprintf "error: bad --remarks regex: %s\n" msg;
-        exit 2
-    in
     (* The sink is scoped to exactly this pipeline run via
        Pass.run_pipeline, instead of being installed globally — a nested
        pipeline can no longer steal or drop it. *)
@@ -363,8 +609,58 @@ let debuginfo_arg =
                  (MLIR's -mlir-print-debuginfo). Off by default, so output \
                  is unchanged for tools that do not understand locations.")
 
+let batch_arg =
+  Arg.(value & flag
+       & info [ "batch" ]
+           ~doc:
+             "Compile service, batch mode: compile every input module \
+              concurrently through the pipeline with a content-addressed \
+              result cache. Inputs may be files, directories (their *.mlir \
+              files, sorted) or - (stdin, split on // ----- lines).")
+
+let serve_arg =
+  Arg.(value & flag
+       & info [ "serve" ]
+           ~doc:
+             "Compile service, stream mode: read // ------separated modules \
+              from stdin one at a time and answer each on stdout, sharing \
+              the batch-mode result cache.")
+
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:
+             "Worker domains for --batch (0 = the runtime's recommended \
+              domain count).")
+
+let repeat_arg =
+  Arg.(value & opt int 1
+       & info [ "repeat" ] ~docv:"N"
+           ~doc:
+             "Sweep the batch $(docv) times; rounds after the first should \
+              be pure cache hits. Each round reports hits/misses to stderr.")
+
+let cache_size_arg =
+  Arg.(value & opt int 256
+       & info [ "cache-size" ] ~docv:"N"
+           ~doc:
+             "Result-cache capacity; least-recently-used entries are \
+              evicted beyond it.")
+
+let out_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out-dir" ] ~docv:"DIR"
+           ~doc:
+             "In --batch mode, write each compiled module to \
+              $(docv)/<basename> instead of stdout — byte-identical to the \
+              single-shot output for the same input.")
+
 let input_arg =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
+  Arg.(value & pos_all string []
+       & info [] ~docv:"FILE"
+           ~doc:
+             "Input file (default stdin). --batch accepts several, plus \
+              directories.")
 
 let cmd =
   let doc = "run SYCL-MLIR passes over textual IR" in
@@ -373,6 +669,7 @@ let cmd =
     Term.(const run $ passes_arg $ verify_arg $ stats_arg $ stats_json_arg
           $ timing_arg $ remarks_arg $ remarks_json_arg $ metrics_json_arg
           $ trace_json_arg $ print_analysis_arg $ dump_before_arg
-          $ dump_after_arg $ debuginfo_arg $ input_arg)
+          $ dump_after_arg $ debuginfo_arg $ batch_arg $ serve_arg $ jobs_arg
+          $ repeat_arg $ cache_size_arg $ out_dir_arg $ input_arg)
 
 let () = exit (Cmd.eval cmd)

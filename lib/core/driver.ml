@@ -64,6 +64,44 @@ let config ?(enable_licm = true) ?(enable_reduction = true)
     verify_each;
   }
 
+(** Canonical serialization of a configuration, for content-addressed
+    compile caching: two configs produce the same key iff every field —
+    mode and all ablation switches — agrees, so a cache keyed on
+    (module text, config key) can never serve a result compiled under
+    different flags. The field list is written out explicitly so adding
+    a config field without extending the key is a type error. *)
+let config_key (cfg : config) : string =
+  let {
+    mode;
+    enable_licm;
+    enable_reduction;
+    enable_internalization;
+    enable_host_device;
+    enable_alias_refinement;
+    enable_fusion;
+    enable_lowering;
+    verify_each;
+  } =
+    cfg
+  in
+  let b name v = Printf.sprintf "%s=%b" name v in
+  String.concat ","
+    [
+      Printf.sprintf "mode=%s"
+        (match mode with
+        | Dpcpp -> "dpcpp"
+        | Sycl_mlir -> "sycl-mlir"
+        | Adaptive_cpp -> "acpp");
+      b "licm" enable_licm;
+      b "reduction" enable_reduction;
+      b "internalization" enable_internalization;
+      b "host-device" enable_host_device;
+      b "alias-refinement" enable_alias_refinement;
+      b "fusion" enable_fusion;
+      b "lowering" enable_lowering;
+      b "verify-each" verify_each;
+    ]
+
 (* A restricted LICM hoisting only pure speculatable ops — the level of
    loop-invariant code motion a generic LLVM-style pipeline achieves
    without SYCL aliasing facts. *)

@@ -48,6 +48,11 @@ val config :
   mode ->
   config
 
+(** Canonical serialization of a configuration (mode + every ablation
+    switch), used as the pipeline half of the compile service's
+    content-addressed cache key: equal keys iff equal configs. *)
+val config_key : config -> string
+
 (** Restricted LICM hoisting only pure speculatable ops — the baseline's
     level of loop-invariant code motion. *)
 val licm_pure_pass : Pass.t

@@ -46,11 +46,14 @@ and region = {
   mutable parent_op : op option;
 }
 
+(* Ids are minted from one process-wide atomic counter. A plain [ref] +
+   [incr] here let two domains compiling concurrently read the same
+   counter value and mint duplicate [oid]s/[vid]s, silently corrupting
+   every oid-keyed table downstream (LICM hoist sets, CSE value tables,
+   dominance caches, printer name maps). *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)

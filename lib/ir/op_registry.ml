@@ -64,18 +64,57 @@ let default_info =
 (** Convenience: a pure (no memory effects, speculatable) op_info. *)
 let pure_info = { default_info with memory_effects = (fun _ -> Some []); speculatable = true }
 
-let table : (string, op_info) Hashtbl.t = Hashtbl.create 128
+(* Registration happens once, at init time, on a single domain; lookups
+   happen everywhere, including concurrently from compile-service worker
+   domains. A plain shared Hashtbl would let a late [register] resize the
+   bucket array underneath a concurrent [lookup] (a torn table). The
+   contract (documented in the .mli) is therefore:
 
-let register name info = Hashtbl.replace table name info
+   - before {!freeze}: registration and lookup are init-phase,
+     single-domain operations (exactly today's dialect-init flow);
+     registrations racing each other are still serialized by a mutex.
+   - {!freeze} snapshots the table into an immutable copy. From then on
+     every lookup reads the snapshot, which is never mutated again, so
+     concurrent reads are safe without a lock.
+   - [register] after {!freeze} is a no-op for an already-registered
+     name (dialect [init] functions are idempotent re-registrations and
+     may legitimately run again, e.g. in tests) and an error for a new
+     name — new semantic information must not appear while worker
+     domains are compiling. *)
+let table : (string, op_info) Hashtbl.t = Hashtbl.create 128
+let table_mutex = Mutex.create ()
+let frozen : (string, op_info) Hashtbl.t option Atomic.t = Atomic.make None
+
+let register name info =
+  match Atomic.get frozen with
+  | Some snapshot ->
+    if not (Hashtbl.mem snapshot name) then
+      invalid_arg
+        (Printf.sprintf
+           "Op_registry.register: registry is frozen; cannot register new op %S \
+            (dialects must register before Op_registry.freeze)"
+           name)
+  | None -> Mutex.protect table_mutex (fun () -> Hashtbl.replace table name info)
 
 let register_pure name = register name pure_info
 
-let lookup name = Hashtbl.find_opt table name
+(** Idempotent: the first call snapshots, later calls are no-ops. *)
+let freeze () =
+  Mutex.protect table_mutex (fun () ->
+      if Atomic.get frozen = None then
+        Atomic.set frozen (Some (Hashtbl.copy table)))
+
+let is_frozen () = Atomic.get frozen <> None
+
+let lookup name =
+  match Atomic.get frozen with
+  | Some snapshot -> Hashtbl.find_opt snapshot name
+  | None -> Hashtbl.find_opt table name
 
 let info op =
   match lookup op.Core.name with Some i -> i | None -> default_info
 
-let is_registered name = Hashtbl.mem table name
+let is_registered name = lookup name <> None
 
 (* Queries used throughout the analyses. *)
 

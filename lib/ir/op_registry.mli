@@ -50,8 +50,31 @@ val default_info : op_info
 (** No memory effects, speculatable. *)
 val pure_info : op_info
 
+(** {2 Registration and freezing}
+
+    Registration is an {e init-time-only} operation: dialects register
+    their ops on a single domain before any concurrent compilation
+    starts. Once every dialect has initialized, call {!freeze} — from
+    then on the registry serves lookups from an immutable snapshot, so
+    worker domains may query it concurrently without synchronization.
+
+    After {!freeze}, [register] of an {e already-registered} name is a
+    no-op (dialect [init] functions are idempotent and may run again),
+    while [register] of a {e new} name raises [Invalid_argument]: new
+    semantic information must not appear while workers are compiling.
+    The compile service freezes the registry before spawning workers. *)
+
 val register : string -> op_info -> unit
 val register_pure : string -> unit
+
+(** Snapshot the table and switch lookups to the immutable copy.
+    Idempotent; later registrations of known names become no-ops. *)
+val freeze : unit -> unit
+
+val is_frozen : unit -> bool
+
+(** Safe to call concurrently from any domain once {!freeze} has run;
+    before that, only during the single-domain init phase. *)
 val lookup : string -> op_info option
 
 (** Info for an op (defaults when unregistered). *)

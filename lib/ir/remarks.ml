@@ -63,6 +63,24 @@ let with_sink f body =
   install f;
   Fun.protect ~finally:uninstall body
 
+(** Run [body] with [f] as the {e only} sink visible in this domain,
+    restoring the previous stack afterwards (exceptions included).
+    Unlike {!with_sink}, outer sinks do NOT receive the remarks emitted
+    inside [body] — this is how the compile service captures a request's
+    remarks exactly once, then re-delivers them to the caller in
+    canonical order (a request compiled on the calling domain must not
+    stream into the caller's sinks twice, and one compiled on a fresh
+    worker domain — whose DLS stack starts empty — must not drop them). *)
+let isolated f body =
+  let saved = Domain.DLS.get sinks_key in
+  Domain.DLS.set sinks_key [ f ];
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sinks_key saved) body
+
+(** Deliver an already-built remark record to the sinks installed in the
+    current domain (innermost first). No-op when no sink is installed.
+    Used to replay collected or cached remarks on the caller's domain. *)
+let broadcast (r : t) = List.iter (fun s -> s r) (Domain.DLS.get sinks_key)
+
 let emit ~pass ~name kind ?op ?func ?loc message =
   match Domain.DLS.get sinks_key with
   | [] -> ()

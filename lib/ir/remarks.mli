@@ -41,6 +41,17 @@ val uninstall : unit -> unit
     popping it on the way out (exceptions included). *)
 val with_sink : (t -> unit) -> (unit -> 'a) -> 'a
 
+(** [isolated f body] runs [body] with [f] as the {e only} sink visible
+    in this domain (outer sinks are hidden, and restored afterwards).
+    The compile service uses this to capture a request's remarks exactly
+    once regardless of which domain compiles it. *)
+val isolated : (t -> unit) -> (unit -> 'a) -> 'a
+
+(** Deliver an already-built remark to the current domain's installed
+    sinks (no-op without one) — replaying collected or cached remarks on
+    the caller's domain, in the caller's chosen order. *)
+val broadcast : t -> unit
+
 (** Emit a remark. The enclosing function name and source location are
     derived from [op] when [func] / [loc] are not given. No-op when no
     sink is installed. *)

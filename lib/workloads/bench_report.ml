@@ -10,11 +10,17 @@ open Mlir
 module Host_interp = Sycl_runtime.Host_interp
 module Cost = Sycl_sim.Cost
 module Metrics = Sycl_obs.Metrics
+module Service = Sycl_service.Service
 
 (* v2: every config carries a "metrics" section (transfer bytes by
    direction, DAG-wait edge count, launch-latency percentiles) fed by
-   the runtime telemetry registry. *)
-let schema_version = 2
+   the runtime telemetry registry.
+   v3: a report-level "service" section from a two-round compile-service
+   sweep of the suite — cache hit/miss/eviction counters, compile-latency
+   percentiles in deterministic cost units (gated by [compare_reports]
+   like cycles), and measured wall-clock throughput (informational only:
+   machine-dependent, never gated, excluded from determinism diffs). *)
+let schema_version = 3
 
 type config_metrics = {
   cm_cycles : int;
@@ -45,10 +51,29 @@ type entry = {
       (** merged compile-time statistics of the SYCL-MLIR pipeline *)
 }
 
+(* The v3 "service" section: one two-round compile-service sweep of the
+   whole suite. Counters, hit rate and the cost-unit percentiles are
+   deterministic (the cache coalesces duplicate in-flight requests, and
+   cost units count ops, not time); wall_us / modules_per_sec are
+   measured and vary run to run. *)
+type service_metrics = {
+  sv_requests : int;
+  sv_hits : int;
+  sv_misses : int;
+  sv_evictions : int;
+  sv_hit_rate : float;
+  sv_cost_p50 : int;  (** compile-latency percentiles, in cost units *)
+  sv_cost_p90 : int;
+  sv_cost_p99 : int;
+  sv_wall_us : int;  (** measured: total batch wall time *)
+  sv_modules_per_sec : float;  (** measured: requests / wall time *)
+}
+
 type report = {
   r_schema_version : int;
   r_label : string;
   r_entries : entry list;
+  r_service : service_metrics;
 }
 
 (* ---------------------------------------------------------------- *)
@@ -97,12 +122,73 @@ let entry_of_comparison (c : Common.comparison) : entry =
     e_pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats;
   }
 
+(* Sweep every workload module through the compile service twice: round
+   one is all cold compiles, round two must be served from the cache, so
+   the hit rate lands at exactly 1/2 (the capacity is far above the
+   suite size — no evictions, hence deterministic counters). *)
+let collect_service (workloads : Common.workload list) : service_metrics =
+  (* Creating the service freezes the op registry, so every dialect must
+     have registered by now — do it explicitly rather than relying on a
+     workload builder having run first. *)
+  Dialects.Register.init ();
+  Sycl_core.Sycl_ops.init ();
+  Sycl_core.Sycl_host_ops.init ();
+  Sycl_core.Licm.init ();
+  let cfg = Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir in
+  let pipeline =
+    Sycl_core.Driver.host_pipeline cfg @ Sycl_core.Driver.device_pipeline cfg
+  in
+  let service =
+    Service.create ~cache_capacity:1024 ~pipeline
+      ~pipeline_key:(Sycl_core.Driver.config_key cfg) ()
+  in
+  let requests =
+    List.map
+      (fun (w : Common.workload) ->
+        { Service.rq_name = w.Common.w_name;
+          rq_text = Mlir.Printer.to_string (w.Common.w_module ()) })
+      workloads
+  in
+  ignore (Service.run_batch service requests);
+  ignore (Service.run_batch service requests);
+  let reg = Service.metrics service in
+  let c n = Metrics.counter_value reg n in
+  let pct p =
+    Option.value ~default:0
+      (Metrics.percentile reg "service.compile_cost_units" p)
+  in
+  let hits = c "service.cache_hits" and misses = c "service.cache_misses" in
+  let requests_total = c "service.requests" in
+  let wall_us = c "service.batch_wall_us" in
+  {
+    sv_requests = requests_total;
+    sv_hits = hits;
+    sv_misses = misses;
+    sv_evictions = c "service.cache_evictions";
+    sv_hit_rate =
+      (if hits + misses = 0 then 0.0
+       else float_of_int hits /. float_of_int (hits + misses));
+    sv_cost_p50 = pct 50.0;
+    sv_cost_p90 = pct 90.0;
+    sv_cost_p99 = pct 99.0;
+    sv_wall_us = wall_us;
+    sv_modules_per_sec =
+      float_of_int requests_total *. 1e6 /. float_of_int (max 1 wall_us);
+  }
+
 let collect ~label (workloads : Common.workload list) : report =
+  (* Sequence explicitly: record fields evaluate in unspecified order,
+     and the measurements must not run against a registry frozen by the
+     service sweep before the dialects initialized. *)
+  let entries =
+    List.map (fun w -> entry_of_comparison (Common.compare_workload w)) workloads
+  in
+  let service = collect_service workloads in
   {
     r_schema_version = schema_version;
     r_label = label;
-    r_entries =
-      List.map (fun w -> entry_of_comparison (Common.compare_workload w)) workloads;
+    r_entries = entries;
+    r_service = service;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -139,12 +225,34 @@ let entry_to_json (e : entry) : Json.t =
       ( "pass_stats",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) ) ]
 
+(* The "measured" subobject isolates every machine-dependent field; CI's
+   determinism comparison drops exactly that subtree and compares the
+   rest byte-for-byte. *)
+let service_to_json (s : service_metrics) : Json.t =
+  Json.Obj
+    [ ("requests", Json.Int s.sv_requests);
+      ("cache_hits", Json.Int s.sv_hits);
+      ("cache_misses", Json.Int s.sv_misses);
+      ("evictions", Json.Int s.sv_evictions);
+      ("hit_rate", Json.Float s.sv_hit_rate);
+      ( "compile_latency",
+        Json.Obj
+          [ ("unit", Json.String "cost-units");
+            ("p50", Json.Int s.sv_cost_p50);
+            ("p90", Json.Int s.sv_cost_p90);
+            ("p99", Json.Int s.sv_cost_p99) ] );
+      ( "measured",
+        Json.Obj
+          [ ("wall_us", Json.Int s.sv_wall_us);
+            ("modules_per_sec", Json.Float s.sv_modules_per_sec) ] ) ]
+
 let to_json (r : report) : string =
   Json.to_string
     (Json.Obj
        [ ("schema_version", Json.Int r.r_schema_version);
          ("label", Json.String r.r_label);
-         ("workloads", Json.List (List.map entry_to_json r.r_entries)) ])
+         ("workloads", Json.List (List.map entry_to_json r.r_entries));
+         ("service", service_to_json r.r_service) ])
   ^ "\n"
 
 exception Report_error of string
@@ -202,6 +310,25 @@ let entry_of_json (j : Json.t) : entry =
       | _ -> fail "missing or ill-typed field %S" "pass_stats");
   }
 
+let get_float j name =
+  req name (Option.bind (Json.member name j) Json.as_float)
+
+let service_of_json (j : Json.t) : service_metrics =
+  let lat = req "compile_latency" (Json.member "compile_latency" j) in
+  let measured = req "measured" (Json.member "measured" j) in
+  {
+    sv_requests = get_int j "requests";
+    sv_hits = get_int j "cache_hits";
+    sv_misses = get_int j "cache_misses";
+    sv_evictions = get_int j "evictions";
+    sv_hit_rate = get_float j "hit_rate";
+    sv_cost_p50 = get_int lat "p50";
+    sv_cost_p90 = get_int lat "p90";
+    sv_cost_p99 = get_int lat "p99";
+    sv_wall_us = get_int measured "wall_us";
+    sv_modules_per_sec = get_float measured "modules_per_sec";
+  }
+
 let of_json (s : string) : report =
   let j =
     match Json.parse s with
@@ -218,6 +345,7 @@ let of_json (s : string) : report =
       (match Json.member "workloads" j with
       | Some (Json.List items) -> List.map entry_of_json items
       | _ -> fail "missing or ill-typed field %S" "workloads");
+    r_service = service_of_json (req "service" (Json.member "service" j));
   }
 
 (* ---------------------------------------------------------------- *)
@@ -229,6 +357,9 @@ type issue_kind =
   | Validity_regression
   | Missing_workload
   | Missing_config
+  | Compile_latency_regression
+      (** a compile-service cost-unit percentile grew past tolerance *)
+  | Hit_rate_regression  (** the service cache hit rate dropped past tolerance *)
 
 type issue = {
   i_kind : issue_kind;
@@ -304,4 +435,36 @@ let compare_reports ?(tolerance = 0.05) ~(baseline : report)
                     i_detail = "result validated in the baseline but no longer does" })
           old_e.e_configs)
     baseline.r_entries;
+  (* Report-level compile-service gates: the deterministic cost-unit
+     percentiles obey the same growth budget as cycles; the hit rate may
+     not drop by more than the tolerance fraction. Wall-clock throughput
+     is machine-dependent and deliberately not gated. *)
+  let s_old = baseline.r_service and s_new = current.r_service in
+  let gate_cost what old_v new_v =
+    if
+      new_v
+      > int_of_float (Float.round (float_of_int old_v *. (1.0 +. tolerance)))
+    then
+      add
+        { i_kind = Compile_latency_regression; i_workload = "<service>";
+          i_config = "";
+          i_detail =
+            Printf.sprintf
+              "%s regressed %d -> %d cost units (+%.1f%%, tolerance %.1f%%)"
+              what old_v new_v
+              (100.0
+              *. (float_of_int new_v /. float_of_int (max 1 old_v) -. 1.0))
+              (100.0 *. tolerance) }
+  in
+  gate_cost "compile latency p50" s_old.sv_cost_p50 s_new.sv_cost_p50;
+  gate_cost "compile latency p90" s_old.sv_cost_p90 s_new.sv_cost_p90;
+  gate_cost "compile latency p99" s_old.sv_cost_p99 s_new.sv_cost_p99;
+  if s_new.sv_hit_rate < (s_old.sv_hit_rate *. (1.0 -. tolerance)) -. 1e-9 then
+    add
+      { i_kind = Hit_rate_regression; i_workload = "<service>"; i_config = "";
+        i_detail =
+          Printf.sprintf
+            "cache hit rate regressed %.1f%% -> %.1f%% (tolerance %.1f%%)"
+            (100.0 *. s_old.sv_hit_rate) (100.0 *. s_new.sv_hit_rate)
+            (100.0 *. tolerance) };
   List.rev !issues

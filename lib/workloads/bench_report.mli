@@ -29,16 +29,39 @@ type entry = {
   e_pass_stats : (string * int) list;
 }
 
+(** The v3 report-level "service" section: counters and cost-unit
+    percentiles from a two-round compile-service sweep of the suite.
+    Everything except [sv_wall_us] / [sv_modules_per_sec] (the
+    "measured" fields) is deterministic. *)
+type service_metrics = {
+  sv_requests : int;
+  sv_hits : int;
+  sv_misses : int;
+  sv_evictions : int;
+  sv_hit_rate : float;
+  sv_cost_p50 : int;  (** compile-latency percentiles, in cost units *)
+  sv_cost_p90 : int;
+  sv_cost_p99 : int;
+  sv_wall_us : int;
+  sv_modules_per_sec : float;
+}
+
 type report = {
   r_schema_version : int;
   r_label : string;
   r_entries : entry list;
+  r_service : service_metrics;
 }
 
 val metrics_of : Common.measurement -> config_metrics
 val entry_of_comparison : Common.comparison -> entry
 
-(** Measure every workload under the three configurations. *)
+(** Sweep the workloads' modules through a fresh compile service twice
+    (cold round + cached round) and snapshot its telemetry. *)
+val collect_service : Common.workload list -> service_metrics
+
+(** Measure every workload under the three configurations, plus the
+    compile-service sweep. *)
 val collect : label:string -> Common.workload list -> report
 
 val to_json : report -> string
@@ -55,6 +78,9 @@ type issue_kind =
   | Validity_regression
   | Missing_workload
   | Missing_config
+  | Compile_latency_regression
+      (** a compile-service cost-unit percentile grew past tolerance *)
+  | Hit_rate_regression  (** the service cache hit rate dropped past tolerance *)
 
 type issue = {
   i_kind : issue_kind;
@@ -66,7 +92,10 @@ type issue = {
 val issue_to_string : issue -> string
 
 (** Issues in [current] relative to [baseline]; empty means the gate
-    passes. [tolerance] is the permitted fractional growth for cycles
-    and launch-latency percentiles (default 0.05). *)
+    passes. [tolerance] is the permitted fractional growth for cycles,
+    launch-latency percentiles and compile-service cost-unit
+    percentiles, and the permitted fractional drop in the service cache
+    hit rate (default 0.05). Measured service wall time / throughput is
+    never gated. *)
 val compare_reports :
   ?tolerance:float -> baseline:report -> report -> issue list

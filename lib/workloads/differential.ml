@@ -240,6 +240,82 @@ let check_telemetry_neutral (w : Common.workload) :
         ~subject:tel_digest ())
 
 (* ------------------------------------------------------------------ *)
+(* Oracle (f): compile-service cache coherence                         *)
+(* ------------------------------------------------------------------ *)
+
+(** The compile service must be invisible in the output: a module pushed
+    through a multi-domain service — cold, coalesced (the batch repeats
+    the request six times) and then cached — must come out byte-identical
+    to a direct pipeline run, with exactly one cold compile and a fully
+    cached second round. *)
+let check_service_cache (w : Common.workload) :
+    (unit, Difftest.failure) result =
+  let module Service = Sycl_service.Service in
+  let module Metrics = Sycl_obs.Metrics in
+  let name = w.Common.w_name in
+  let fail detail ir =
+    Error
+      { Difftest.f_oracle = "service-cache"; f_detail = name ^ ": " ^ detail;
+        f_ir = ir }
+  in
+  match
+    let text = Printer.to_string (w.Common.w_module ()) in
+    let pipeline = full_pipeline () in
+    let reference =
+      let m = Parser.parse_module text in
+      ignore (Pass.run_pipeline ~verify_each:false pipeline m);
+      Printer.to_string m
+    in
+    let service =
+      Service.create ~cache_capacity:8 ~workers:4 ~pipeline
+        ~pipeline_key:(Service.pipeline_key_of_passes pipeline) ()
+    in
+    let rq i =
+      { Service.rq_name = Printf.sprintf "%s#%d" name i; rq_text = text }
+    in
+    let round1 = Service.run_batch service (List.init 6 rq) in
+    let round2 = Service.run_batch service (List.init 6 rq) in
+    (reference, service, round1 @ round2)
+  with
+  | exception e -> fail (Printf.sprintf "raised %s" (Printexc.to_string e)) None
+  | reference, service, responses -> (
+    let bad_output =
+      List.find_map
+        (fun (rs : Service.response) ->
+          match rs.Service.rs_outcome with
+          | Service.Success s when s = reference -> None
+          | Service.Success s ->
+            Some
+              ( Printf.sprintf "%s: service output diverges from direct compile"
+                  rs.Service.rs_name,
+                Some s )
+          | Service.Failure msg ->
+            Some
+              (Printf.sprintf "%s: service compile failed: %s"
+                 rs.Service.rs_name msg, None))
+        responses
+    in
+    match bad_output with
+    | Some (detail, ir) -> fail detail ir
+    | None ->
+      let reg = Service.metrics service in
+      let misses = Metrics.counter_value reg "service.cache_misses" in
+      let hits = Metrics.counter_value reg "service.cache_hits" in
+      if misses <> 1 then
+        fail
+          (Printf.sprintf "expected exactly 1 cold compile, got %d misses"
+             misses)
+          None
+      else if hits <> 11 then
+        fail (Printf.sprintf "expected 11 cache hits, got %d" hits) None
+      else if
+        List.exists
+          (fun (rs : Service.response) -> not rs.Service.rs_cache_hit)
+          (List.filteri (fun i _ -> i >= 6) responses)
+      then fail "second-round response not served from the cache" None
+      else Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* Randomized workload selection for the fuzz loop                     *)
 (* ------------------------------------------------------------------ *)
 

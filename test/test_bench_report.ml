@@ -36,8 +36,27 @@ let entry ?(name = "w") ?(configs = []) () : BR.entry =
     e_pass_stats = [ ("licm/licm.hoisted-pure", 3) ];
   }
 
-let report ?(label = "base") entries : BR.report =
-  { BR.r_schema_version = BR.schema_version; r_label = label; r_entries = entries }
+let service ?(hit_rate = 0.5) ?(cost_p99 = 4000) () : BR.service_metrics =
+  {
+    BR.sv_requests = 20;
+    sv_hits = 10;
+    sv_misses = 10;
+    sv_evictions = 0;
+    sv_hit_rate = hit_rate;
+    sv_cost_p50 = min 2000 cost_p99;
+    sv_cost_p90 = min 3000 cost_p99;
+    sv_cost_p99 = cost_p99;
+    sv_wall_us = 12345;
+    sv_modules_per_sec = 1620.5;
+  }
+
+let report ?(label = "base") ?(service = service ()) entries : BR.report =
+  {
+    BR.r_schema_version = BR.schema_version;
+    r_label = label;
+    r_entries = entries;
+    r_service = service;
+  }
 
 let kinds issues = List.map (fun i -> i.BR.i_kind) issues
 
@@ -150,6 +169,31 @@ let tests_list =
           (List.mem BR.Latency_regression (kinds issues));
         Alcotest.(check bool) "no cycle issue" false
           (List.mem BR.Cycle_regression (kinds issues)));
+    Alcotest.test_case "service compile-latency regression fails the gate"
+      `Quick (fun () ->
+        let base = report [ entry () ] in
+        (* 5% budget over p99=4000 is 4200. *)
+        let ok = report ~service:(service ~cost_p99:4200 ()) [ entry () ] in
+        Alcotest.(check int) "at budget passes" 0
+          (List.length (BR.compare_reports ~baseline:base ok));
+        let worse = report ~service:(service ~cost_p99:4201 ()) [ entry () ] in
+        let issues = BR.compare_reports ~baseline:base worse in
+        Alcotest.(check bool) "compile-latency issue" true
+          (List.mem BR.Compile_latency_regression (kinds issues));
+        Alcotest.(check bool) "nothing else" true
+          (List.for_all (fun k -> k = BR.Compile_latency_regression)
+             (kinds issues)));
+    Alcotest.test_case "service hit-rate regression fails the gate" `Quick
+      (fun () ->
+        let base = report [ entry () ] in
+        (* 5% of 0.5 is 0.025: 0.475 passes, anything lower flags. *)
+        let ok = report ~service:(service ~hit_rate:0.475 ()) [ entry () ] in
+        Alcotest.(check int) "at budget passes" 0
+          (List.length (BR.compare_reports ~baseline:base ok));
+        let worse = report ~service:(service ~hit_rate:0.4 ()) [ entry () ] in
+        Alcotest.(check bool) "hit-rate issue" true
+          (List.mem BR.Hit_rate_regression
+             (kinds (BR.compare_reports ~baseline:base worse))));
     Alcotest.test_case "measured snapshot round-trips and self-compares clean"
       `Slow (fun () ->
         Helpers.init ();
@@ -165,7 +209,15 @@ let tests_list =
              (fun (e : BR.entry) ->
                List.mem_assoc "sycl-mlir" e.BR.e_configs
                && List.mem_assoc "dpcpp" e.BR.e_configs)
-             r.BR.r_entries));
+             r.BR.r_entries);
+        (* One workload swept twice: second round is all hits. *)
+        let s = r.BR.r_service in
+        Alcotest.(check int) "requests" 2 s.BR.sv_requests;
+        Alcotest.(check int) "hits" 1 s.BR.sv_hits;
+        Alcotest.(check int) "misses" 1 s.BR.sv_misses;
+        Alcotest.(check (float 1e-9)) "hit rate" 0.5 s.BR.sv_hit_rate;
+        Alcotest.(check bool) "cost percentiles populated" true
+          (s.BR.sv_cost_p50 > 0 && s.BR.sv_cost_p99 >= s.BR.sv_cost_p50));
   ]
 
 let tests = ("bench-report", tests_list)

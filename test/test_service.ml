@@ -1,0 +1,260 @@
+(* The compile service (lib/service): content-addressed caching,
+   coalescing, LRU eviction, multi-domain safety of the id mint and the
+   op registry, and exactly-once remark delivery.
+
+   This suite runs LAST: creating a service freezes the op registry, and
+   the freeze-semantics test registers on purpose. *)
+
+open Mlir
+module Service = Sycl_service.Service
+module Metrics = Sycl_obs.Metrics
+module Driver = Sycl_core.Driver
+
+(* A tiny module whose canonical text differs per [k] (the constant's
+   value is an attribute, so changing it must change the cache key). *)
+let module_text k =
+  Printf.sprintf
+    "builtin.module() ({\n\
+    \  func.func() ({\n\
+    \    %%0 = arith.constant() {value = %d} : () -> (i32)\n\
+    \    func.return()\n\
+    \  }) {function_type = () -> (), sym_name = \"f%d\"}\n\
+     })\n"
+    k k
+
+(* Same module as [module_text k], different formatting: explicit empty
+   block header, extra indentation and blank lines. Canonicalization
+   (parse + reprint) must erase the difference. *)
+let module_text_reformatted k =
+  Printf.sprintf
+    "builtin.module() ({\n\n\
+    \    func.func() ({\n\
+    \    ^bb0():\n\
+    \        %%0 = arith.constant() {value = %d} : () -> (i32)\n\n\
+    \        func.return()\n\
+    \    }) {function_type = () -> (), sym_name = \"f%d\"}\n\n\
+     })\n"
+    k k
+
+let pipeline () = [ Sycl_core.Canonicalize.pass ]
+
+let make_service ?(capacity = 64) ?(workers = 4) () =
+  Helpers.init ();
+  let pipeline = pipeline () in
+  Service.create ~cache_capacity:capacity ~workers ~pipeline
+    ~pipeline_key:(Service.pipeline_key_of_passes pipeline) ()
+
+let rq ?(name = "m") k = { Service.rq_name = name; rq_text = module_text k }
+let counter s n = Metrics.counter_value (Service.metrics s) n
+
+let success (rs : Service.response) =
+  match rs.Service.rs_outcome with
+  | Service.Success s -> s
+  | Service.Failure msg -> Alcotest.failf "%s failed: %s" rs.Service.rs_name msg
+
+let tests_list =
+  [
+    Alcotest.test_case "op ids stay distinct across domains" `Quick (fun () ->
+        (* Regression: the id mint was a plain ref; two domains could
+           read the same counter value and mint duplicate oids/vids. *)
+        let per_domain = 5000 in
+        let spawned =
+          Array.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  List.init per_domain (fun _ -> Core.next_id ())))
+        in
+        let all = List.concat_map Domain.join (Array.to_list spawned) in
+        let distinct = List.sort_uniq compare all in
+        Alcotest.(check int) "no duplicate ids" (4 * per_domain)
+          (List.length distinct));
+    Alcotest.test_case "creating a service freezes the op registry" `Quick
+      (fun () ->
+        let _s = make_service () in
+        Alcotest.(check bool) "frozen" true (Op_registry.is_frozen ());
+        (* Dialect init functions are idempotent and must stay callable. *)
+        Helpers.init ();
+        Alcotest.(check bool) "known op still registered" true
+          (Op_registry.is_registered "arith.constant");
+        (* A brand-new name is a programming error once workers exist. *)
+        match Op_registry.register_pure "test.post_freeze_op" with
+        | () -> Alcotest.fail "expected Invalid_argument for a new name"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "identical in-flight requests coalesce to one compile"
+      `Quick (fun () ->
+        let s = make_service () in
+        let reqs = List.init 8 (fun i -> rq ~name:(Printf.sprintf "r%d" i) 1) in
+        let responses = Service.run_batch s reqs in
+        let outputs = List.map success responses in
+        Alcotest.(check int) "misses" 1 (counter s "service.cache_misses");
+        Alcotest.(check int) "hits" 7 (counter s "service.cache_hits");
+        Alcotest.(check int) "requests" 8 (counter s "service.requests");
+        Alcotest.(check int) "one cached entry" 1 (Service.cache_length s);
+        match outputs with
+        | first :: rest ->
+          List.iter
+            (fun o -> Alcotest.(check string) "identical output" first o)
+            rest
+        | [] -> Alcotest.fail "no responses");
+    Alcotest.test_case
+      "byte-identical and reformatted text hit; attribute change misses"
+      `Quick (fun () ->
+        let s = make_service () in
+        let r1 = Service.compile_one s (rq 1) in
+        Alcotest.(check bool) "cold" false r1.Service.rs_cache_hit;
+        let r2 = Service.compile_one s (rq 1) in
+        Alcotest.(check bool) "byte-identical hits" true r2.Service.rs_cache_hit;
+        let r3 =
+          Service.compile_one s
+            { Service.rq_name = "m'"; rq_text = module_text_reformatted 1 }
+        in
+        Alcotest.(check bool) "reformatted text hits" true
+          r3.Service.rs_cache_hit;
+        let r4 = Service.compile_one s (rq 2) in
+        Alcotest.(check bool) "changed attribute misses" false
+          r4.Service.rs_cache_hit;
+        Alcotest.(check string) "hit serves the cold output" (success r1)
+          (success r2));
+    Alcotest.test_case "pass list and driver config change the cache key"
+      `Quick (fun () ->
+        Helpers.init ();
+        let text = module_text 1 in
+        let m = Mlir.Parser.parse_module text in
+        let canonical = Service.canonical_text m in
+        let key pk = Service.cache_key ~pipeline_key:pk ~canonical_text:canonical in
+        let k_canon =
+          key (Service.pipeline_key_of_passes [ Sycl_core.Canonicalize.pass ])
+        in
+        let k_canon_cse =
+          key
+            (Service.pipeline_key_of_passes
+               [ Sycl_core.Canonicalize.pass; Sycl_core.Cse.pass ])
+        in
+        Alcotest.(check bool) "pass list distinguishes" true
+          (k_canon <> k_canon_cse);
+        let cfg_default = Driver.config Driver.Sycl_mlir in
+        let cfg_no_licm = Driver.config ~enable_licm:false Driver.Sycl_mlir in
+        let cfg_dpcpp = Driver.config Driver.Dpcpp in
+        Alcotest.(check bool) "ablation flag distinguishes" true
+          (key (Driver.config_key cfg_default)
+          <> key (Driver.config_key cfg_no_licm));
+        Alcotest.(check bool) "mode distinguishes" true
+          (key (Driver.config_key cfg_default)
+          <> key (Driver.config_key cfg_dpcpp));
+        Alcotest.(check string) "key is deterministic"
+          (key (Driver.config_key cfg_default))
+          (key (Driver.config_key cfg_default)));
+    Alcotest.test_case "LRU eviction respects capacity and recency" `Quick
+      (fun () ->
+        let s = make_service ~capacity:2 ~workers:1 () in
+        ignore (Service.compile_one s (rq 1));
+        ignore (Service.compile_one s (rq 2));
+        Alcotest.(check int) "at capacity" 2 (Service.cache_length s);
+        (* Touch 1 so 2 becomes the least recently used entry. *)
+        Alcotest.(check bool) "1 still cached" true
+          (Service.compile_one s (rq 1)).Service.rs_cache_hit;
+        ignore (Service.compile_one s (rq 3));
+        Alcotest.(check int) "bound holds" 2 (Service.cache_length s);
+        Alcotest.(check bool) "recently-used entry survives" true
+          (Service.compile_one s (rq 1)).Service.rs_cache_hit;
+        Alcotest.(check bool) "LRU entry was evicted" false
+          (Service.compile_one s (rq 2)).Service.rs_cache_hit;
+        Alcotest.(check bool) "evictions counted" true
+          (counter s "service.cache_evictions" >= 1);
+        Alcotest.(check int) "bound still holds" 2 (Service.cache_length s));
+    Alcotest.test_case "cached output is byte-identical to a cold compile"
+      `Quick (fun () ->
+        let s = make_service () in
+        let cold = Service.compile_one s (rq 5) in
+        let cached = Service.compile_one s (rq 5) in
+        Alcotest.(check string) "same bytes" (success cold) (success cached);
+        Alcotest.(check bool) "cold compile has a cost" true
+          (cold.Service.rs_cost_units > 0);
+        Alcotest.(check int) "hits are free" 0 cached.Service.rs_cost_units;
+        (* And both match a direct pipeline run on the same text. *)
+        let m = Mlir.Parser.parse_module (module_text 5) in
+        ignore (Mlir.Pass.run_pipeline ~verify_each:false (pipeline ()) m);
+        Alcotest.(check string) "matches direct compile"
+          (Mlir.Printer.to_string m) (success cold));
+    Alcotest.test_case "parse failures are reported, never cached" `Quick
+      (fun () ->
+        let s = make_service () in
+        let bad = { Service.rq_name = "bad"; rq_text = "not mlir at all" } in
+        let r = Service.compile_one s bad in
+        (match r.Service.rs_outcome with
+        | Service.Failure msg ->
+          Alcotest.(check bool) "mentions parse" true
+            (String.length msg >= 5 && String.sub msg 0 5 = "parse")
+        | Service.Success _ -> Alcotest.fail "expected a parse failure");
+        Alcotest.(check int) "nothing cached" 0 (Service.cache_length s);
+        Alcotest.(check int) "error counted" 1 (counter s "service.errors");
+        Alcotest.(check int) "no miss recorded" 0
+          (counter s "service.cache_misses"));
+    Alcotest.test_case
+      "remarks arrive exactly once, in request order, and replay on hits"
+      `Quick (fun () ->
+        Helpers.init ();
+        (* A synthetic pass emitting one remark per function, tagged with
+           the function's name — so delivery order is observable. *)
+        let noisy =
+          Pass.make "noisy" (fun m _stats ->
+              Core.walk m ~f:(fun o ->
+                  if o.Core.name = "func.func" then
+                    match Core.attr o "sym_name" with
+                    | Some (Attr.String fn) ->
+                      Remarks.emit ~pass:"noisy" ~name:"seen" Remarks.Passed
+                        ("function " ^ fn)
+                    | _ -> ()))
+        in
+        let pipeline = [ noisy ] in
+        let s =
+          Service.create ~cache_capacity:64 ~workers:4 ~pipeline
+            ~pipeline_key:(Service.pipeline_key_of_passes pipeline) ()
+        in
+        let reqs = List.init 5 (fun i -> rq ~name:(string_of_int i) (i + 10)) in
+        let expected =
+          List.init 5 (fun i -> Printf.sprintf "function f%d" (i + 10))
+        in
+        let run () =
+          let seen = ref [] in
+          let responses =
+            Remarks.with_sink
+              (fun r -> seen := r.Remarks.r_message :: !seen)
+              (fun () -> Service.run_batch s reqs)
+          in
+          (List.rev !seen, responses)
+        in
+        (* Cold round: every remark delivered once, in request order,
+           even though worker domains started with no sink installed. *)
+        let cold_msgs, cold_rs = run () in
+        Alcotest.(check (list string)) "cold delivery" expected cold_msgs;
+        List.iter
+          (fun (rs : Service.response) ->
+            Alcotest.(check int) "response carries its remark" 1
+              (List.length rs.Service.rs_remarks))
+          cold_rs;
+        (* Cached round: the same remarks replay from the cache. *)
+        let cached_msgs, cached_rs = run () in
+        Alcotest.(check (list string)) "cached replay" expected cached_msgs;
+        Alcotest.(check bool) "all hits" true
+          (List.for_all
+             (fun (rs : Service.response) -> rs.Service.rs_cache_hit)
+             cached_rs));
+    Alcotest.test_case "batch responses preserve request order" `Quick
+      (fun () ->
+        let s = make_service ~workers:4 () in
+        let reqs =
+          List.init 12 (fun i -> rq ~name:(Printf.sprintf "n%d" i) (i mod 3))
+        in
+        let responses = Service.run_batch s reqs in
+        List.iteri
+          (fun i (rs : Service.response) ->
+            Alcotest.(check string) "order" (Printf.sprintf "n%d" i)
+              rs.Service.rs_name)
+          responses;
+        (* 12 requests over 3 distinct modules: exactly 3 cold compiles,
+           regardless of scheduling. *)
+        Alcotest.(check int) "misses" 3 (counter s "service.cache_misses");
+        Alcotest.(check int) "hits" 9 (counter s "service.cache_hits"));
+  ]
+
+let tests = ("service", tests_list)
