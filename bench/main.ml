@@ -361,7 +361,13 @@ let run_fuzz () =
       (* Oracle (f): compile-service cache coherence — cold, coalesced
          and cached compiles through a multi-domain service must be
          byte-identical to a direct pipeline run. *)
-      match Differential.check_service_cache w with
+      (match Differential.check_service_cache w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+      (* Oracle (g): attribution conservation — every launch's per-op
+         attribution must decompose its launch statistics exactly. *)
+      match Differential.check_attribution w with
       | Ok () -> ()
       | Error f ->
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail
@@ -496,7 +502,19 @@ let run_compare () =
 (* ------------------------------------------------------------------ *)
 
 let run_profile () =
+  let hotspots = ref false in
+  let rec parse_args = function
+    | "--hotspots" :: rest -> hotspots := true; parse_args rest
+    | [] -> ()
+    | other :: _ ->
+      Printf.eprintf "profile: unknown argument %s\n" other;
+      exit 2
+  in
+  parse_args (subcommand_args ());
   let w = Polybench.gemm ~n:64 in
+  (* Under --hotspots run a located copy (printed and re-parsed under a
+     virtual file name) so the attribution reports source lines. *)
+  let w = if !hotspots then Annotate.located_workload w else w in
   (* Compile with the timing instrumentation — the per-pass wall-time
      report backs the "little compile-time cost" discussion. *)
   let m = w.Common.w_module () in
@@ -515,7 +533,12 @@ let run_profile () =
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Sycl_sim.Profile.to_chrome_json events));
   Printf.printf "\nSimulated-run profile (trace written to %s):\n" path;
-  Format.printf "%a@?" Sycl_sim.Profile.pp_table (Sycl_sim.Profile.of_events events)
+  Format.printf "%a@?" Sycl_sim.Profile.pp_table (Sycl_sim.Profile.of_events events);
+  if !hotspots then begin
+    print_newline ();
+    print_string
+      (Sycl_sim.Attribution.hotspots_to_string (Annotate.merged_attribution result))
+  end
 
 let () =
   let t0 = Unix.gettimeofday () in

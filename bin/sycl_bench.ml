@@ -65,15 +65,32 @@ let write_profile (m : Common.measurement) path =
     spans from the pass-timing tree on the compile lane, then the run's
     charge timeline (shifted past them) on the host-runtime and device
     lanes — one chrome://tracing load shows parse -> passes -> queue ops
-    -> kernel cycles. *)
-let write_trace (m : Common.measurement) (tm : Mlir.Instrument.timer) path =
+    -> kernel cycles. Under [--annotate] the top hotspot lines ride
+    along as Chrome counter events on the device lane. *)
+let write_trace ?attribution (m : Common.measurement)
+    (tm : Mlir.Instrument.timer) path =
   let module Trace = Sycl_obs.Trace in
   let sink = Trace.global in
   Trace.reset sink;
   Trace.add_timing ~root_name:"compile" sink (Mlir.Instrument.timing_report tm);
+  let base = Trace.span_end sink in
   Trace.add_all sink
-    (Sycl_sim.Profile.trace_spans ~base:(Trace.span_end sink)
+    (Sycl_sim.Profile.trace_spans ~base
        m.Common.m_result.Sycl_runtime.Host_interp.events);
+  (match attribution with
+  | Some tab ->
+    List.iteri
+      (fun i (r : Sycl_sim.Attribution.line_row) ->
+        if i < 5 then
+          Trace.add_counter sink
+            {
+              Trace.ct_name = "hotspot " ^ r.Sycl_sim.Attribution.l_line;
+              ct_lane = Trace.Device;
+              ct_ts = base;
+              ct_series = [ ("cycles", r.Sycl_sim.Attribution.l_cycles) ];
+            })
+      (Sycl_sim.Attribution.by_line tab)
+  | None -> ());
   try
     Out_channel.with_open_text path (fun oc ->
         output_string oc (Mlir.Json.to_string (Trace.export sink) ^ "\n"));
@@ -95,13 +112,86 @@ let write_metrics (m : Common.measurement) path =
     Printf.eprintf "error: cannot write metrics: %s\n" msg;
     exit 1
 
+(** The attribution surfaces: hotspot report on stdout, attribution
+    JSON, annotated IR dump. *)
+let write_attribution_surfaces ~annotate ~attribution_json ~annotated_ir
+    (tab : Sycl_sim.Attribution.table) (module_op : Mlir.Core.op) =
+  if annotate then begin
+    print_newline ();
+    print_string (Sycl_sim.Attribution.hotspots_to_string tab)
+  end;
+  Option.iter
+    (fun path ->
+      try
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc
+              (Mlir.Json.to_string (Sycl_sim.Attribution.to_json tab) ^ "\n"));
+        Printf.eprintf "attribution written to %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write attribution: %s\n" msg;
+        exit 1)
+    attribution_json;
+  Option.iter
+    (fun path ->
+      Sycl_sim.Attribution.annotate_module tab module_op;
+      try
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Mlir.Printer.to_string module_op));
+        Printf.eprintf "annotated IR written to %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write annotated IR: %s\n" msg;
+        exit 1)
+    annotated_ir
+
+let run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir =
+  match Annotate.run_file cfg ~size path with
+  | exception Annotate.File_error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 2
+  | m, r ->
+    Printf.printf "%s (size %d)\n" path size;
+    Printf.printf "  total cycles: %d\n" r.Sycl_runtime.Host_interp.total_cycles;
+    Printf.printf "    device:          %d\n"
+      r.Sycl_runtime.Host_interp.device_cycles;
+    Printf.printf "    launch overhead: %d (%d launches)\n"
+      r.Sycl_runtime.Host_interp.launch_overhead_cycles
+      r.Sycl_runtime.Host_interp.kernel_launches;
+    Printf.printf "    transfers:       %d\n"
+      r.Sycl_runtime.Host_interp.transfer_cycles;
+    List.iter
+      (fun (name, s) ->
+        Format.printf "  kernel %-18s %a@." name Sycl_sim.Cost.pp_launch_stats s)
+      r.Sycl_runtime.Host_interp.per_kernel;
+    (match Annotate.check_conservation r with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "error: attribution conservation violated: %s\n" msg;
+      exit 1);
+    write_attribution_surfaces ~annotate ~attribution_json ~annotated_ir
+      (Annotate.merged_attribution r)
+      m
+
 let run list_flag bench mode compare no_licm no_reduction no_internalization
     no_hostdev fusion profile_json metrics_json trace_json sim_domains
-    check_races =
+    check_races annotate file_arg size attribution_json annotated_ir delta =
   if list_flag then (list_workloads (); exit 0);
   Option.iter Sycl_sim.Interp.set_default_domains sim_domains;
   if check_races then Sycl_sim.Interp.set_default_check_races true;
+  let want_attribution =
+    annotate || attribution_json <> None || annotated_ir <> None
+  in
   try
+  match file_arg with
+  | Some path ->
+    let cfg =
+      Driver.config ~enable_licm:(not no_licm)
+        ~enable_reduction:(not no_reduction)
+        ~enable_internalization:(not no_internalization)
+        ~enable_host_device:(not no_hostdev)
+        ~enable_alias_refinement:(not no_hostdev) ~enable_fusion:fusion mode
+    in
+    run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir
+  | None ->
   match bench with
   | None ->
     prerr_endline "missing --benchmark (or use --list)";
@@ -112,6 +202,11 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
       Printf.eprintf "unknown benchmark %s (try --list)\n" name;
       exit 2
     | Some w ->
+      (* The profiling surfaces report per source line, so they run a
+         located copy of the workload: printed and re-parsed under a
+         virtual file name (semantically identical — see Annotate). *)
+      let orig_w = w in
+      let w = if want_attribution then Annotate.located_workload w else w in
       let config mode =
         Driver.config ~enable_licm:(not no_licm)
           ~enable_reduction:(not no_reduction)
@@ -119,7 +214,11 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
           ~enable_host_device:(not no_hostdev)
           ~enable_alias_refinement:(not no_hostdev) ~enable_fusion:fusion mode
       in
-      if compare then begin
+      if delta then begin
+        let ds, _remarks = Annotate.delta_report orig_w in
+        print_string (Sycl_sim.Attribution.delta_to_string ds)
+      end
+      else if compare then begin
         let base = Common.measure (config Driver.Dpcpp) w in
         report w base;
         print_newline ();
@@ -142,8 +241,25 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
         in
         let m = Common.measure ~instrumentations (config mode) w in
         report w m;
+        let attribution =
+          if want_attribution then begin
+            let tab =
+              Annotate.merged_attribution m.Common.m_result
+            in
+            (match Annotate.check_conservation m.Common.m_result with
+            | Ok () -> ()
+            | Error msg ->
+              Printf.eprintf "error: attribution conservation violated: %s\n"
+                msg;
+              exit 1);
+            write_attribution_surfaces ~annotate ~attribution_json
+              ~annotated_ir tab m.Common.m_module;
+            Some tab
+          end
+          else None
+        in
         Option.iter (write_profile m) profile_json;
-        Option.iter (write_trace m tm) trace_json;
+        Option.iter (write_trace ?attribution m tm) trace_json;
         Option.iter (write_metrics m) metrics_json;
         if not m.Common.m_valid then exit 1)
   with Sycl_sim.Interp.Race_detected races ->
@@ -217,6 +333,56 @@ let check_races_arg =
               work-groups of one launch write overlapping global locations \
               (a violation of SYCL's inter-group independence).")
 
+let annotate_arg =
+  Arg.(value & flag
+       & info [ "annotate" ]
+           ~doc:
+             "Print the source-attributed hotspot report after the run: the \
+              top source lines by attributed device cycles, with share of \
+              total, memory transactions and the coalescing ratio. Named \
+              workloads are printed and re-parsed under a virtual file name \
+              so every op carries a source location.")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "file" ] ~docv:"FILE"
+           ~doc:
+             "Run the textual MLIR module in $(docv) (instead of a named \
+              benchmark) with synthesized arguments; its real file/line \
+              positions feed the attribution surfaces.")
+
+let size_arg =
+  Arg.(value & opt int 16
+       & info [ "size" ] ~docv:"N"
+           ~doc:
+             "Problem size for $(b,--file) runs: scalar main arguments are \
+              bound to $(docv), memref arguments to NxN random buffers.")
+
+let attribution_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "attribution-json" ] ~docv:"FILE"
+           ~doc:
+             "Write the full per-op attribution table (cycles, memory \
+              transactions, barrier rounds per op and source location) to \
+              $(docv) as JSON.")
+
+let annotated_ir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "annotated-ir" ] ~docv:"FILE"
+           ~doc:
+             "Write the compiled module with per-op sycl.cycles / \
+              sycl.mem_cycles attributes recorded from the run to $(docv). \
+              The attributes are discardable and round-trip through the \
+              parser and verifier.")
+
+let delta_arg =
+  Arg.(value & flag
+       & info [ "delta" ]
+           ~doc:
+             "Run the workload unoptimized (host raising only) and under the \
+              full SYCL-MLIR pipeline, and print per-source-line cycle \
+              deltas next to the optimization remarks that claimed them.")
+
 let cmd =
   let doc = "run a SYCL-Bench reproduction workload on the simulated device" in
   Cmd.v (Cmd.info "sycl-bench" ~doc)
@@ -227,6 +393,7 @@ let cmd =
           $ flag "no-host-device" "Disable host-device propagation."
           $ flag "fusion" "Enable compile-time kernel fusion."
           $ profile_json_arg $ metrics_json_arg $ trace_json_arg
-          $ sim_domains_arg $ check_races_arg)
+          $ sim_domains_arg $ check_races_arg $ annotate_arg $ file_arg
+          $ size_arg $ attribution_json_arg $ annotated_ir_arg $ delta_arg)
 
 let () = exit (Cmd.eval cmd)

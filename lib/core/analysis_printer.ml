@@ -32,11 +32,16 @@ let access_offsets_attr = "sycl.access_offsets"
 let coalescing_attr = "sycl.coalescing"
 let temporal_reuse_attr = "sycl.temporal_reuse"
 
+(* Hotspot attribution (written by Sycl_sim.Attribution.annotate_module):
+   cycles and memory cycles the simulator attributed to the op. *)
+let cycles_attr = "sycl.cycles"
+let mem_cycles_attr = "sycl.mem_cycles"
+
 let annotation_attrs =
   [ alias_group_attr; arg_alias_groups_attr; uniform_attr; arg_uniform_attr;
     divergent_attr; def_id_attr; reaching_mods_attr; reaching_pmods_attr;
     access_matrix_attr; access_offsets_attr; coalescing_attr;
-    temporal_reuse_attr ]
+    temporal_reuse_attr; cycles_attr; mem_cycles_attr ]
 
 (* ---------------------------------------------------------------- *)
 (* Alias printer                                                     *)

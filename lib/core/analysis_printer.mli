@@ -26,6 +26,13 @@ val access_offsets_attr : string
 val coalescing_attr : string
 val temporal_reuse_attr : string
 
+val cycles_attr : string
+(** Per-op device cycles, written by the hotspot profiler
+    ([Sycl_sim.Attribution.annotate_module]). *)
+
+val mem_cycles_attr : string
+(** Memory-traffic share of {!cycles_attr}. *)
+
 (** Every attribute the printers may add. *)
 val annotation_attrs : string list
 

@@ -135,7 +135,7 @@ let rec gen_attr g ~depth =
    the same value constructs), so the fuzzer's round-trip oracle covers
    annotated modules. *)
 let gen_annotation_attr g =
-  match int g 6 with
+  match int g 8 with
   | 0 -> ("sycl.alias_group", Attr.Int (int g 8))
   | 1 ->
     ( "sycl.uniform",
@@ -157,6 +157,8 @@ let gen_annotation_attr g =
     ( "sycl.coalescing",
       Attr.String
         (pick g [ "linear"; "reverse-linear"; "thread-invariant"; "non-coalesced" ]) )
+  | 5 -> ("sycl.cycles", Attr.Int (int g 100_000))
+  | 6 -> ("sycl.mem_cycles", Attr.Int (int g 50_000))
   | _ -> ("sycl.temporal_reuse", Attr.Bool (Random.State.bool g.rng))
 
 let gen_attrs g =

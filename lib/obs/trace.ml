@@ -34,6 +34,17 @@ type span = {
   sp_args : (string * int) list;
 }
 
+(** A Chrome counter sample ([ph:"C"]): named series values at one
+    instant, rendered by the trace viewer as a stacked area chart. Used
+    for the hotspot profile — per-source-line attributed cycles plotted
+    on the device lane. *)
+type counter = {
+  ct_name : string;
+  ct_lane : lane;
+  ct_ts : int;  (** microseconds *)
+  ct_series : (string * int) list;  (** series name -> sampled value *)
+}
+
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -41,15 +52,20 @@ type span = {
 type sink = {
   sk_mutex : Mutex.t;
   mutable sk_rev : span list;  (** newest first *)
+  mutable sk_counters_rev : counter list;  (** newest first *)
 }
 
-let make_sink () = { sk_mutex = Mutex.create (); sk_rev = [] }
+let make_sink () =
+  { sk_mutex = Mutex.create (); sk_rev = []; sk_counters_rev = [] }
 
 (** The process-wide sink the command-line tools record into; tests use
     private {!make_sink} sinks. *)
 let global : sink = make_sink ()
 
-let reset (sk : sink) = Mutex.protect sk.sk_mutex (fun () -> sk.sk_rev <- [])
+let reset (sk : sink) =
+  Mutex.protect sk.sk_mutex (fun () ->
+      sk.sk_rev <- [];
+      sk.sk_counters_rev <- [])
 
 let add (sk : sink) (sp : span) =
   Mutex.protect sk.sk_mutex (fun () -> sk.sk_rev <- sp :: sk.sk_rev)
@@ -57,6 +73,20 @@ let add (sk : sink) (sp : span) =
 let add_all (sk : sink) (sps : span list) =
   Mutex.protect sk.sk_mutex (fun () ->
       List.iter (fun sp -> sk.sk_rev <- sp :: sk.sk_rev) sps)
+
+let add_counter (sk : sink) (ct : counter) =
+  Mutex.protect sk.sk_mutex (fun () ->
+      sk.sk_counters_rev <- ct :: sk.sk_counters_rev)
+
+(** Counters in chronological order (ties by lane then name). *)
+let counters (sk : sink) =
+  let cts = Mutex.protect sk.sk_mutex (fun () -> List.rev sk.sk_counters_rev) in
+  List.stable_sort
+    (fun a b ->
+      match compare a.ct_ts b.ct_ts with
+      | 0 -> compare (pid_of_lane a.ct_lane, a.ct_name) (pid_of_lane b.ct_lane, b.ct_name)
+      | c -> c)
+    cts
 
 (** Spans in chronological order (ties broken by lane then name, so the
     export is deterministic). *)
@@ -127,9 +157,10 @@ let tid_of_span (sp : span) =
   match (sp.sp_lane, sp.sp_cat) with Host, "transfer" -> 2 | _ -> 1
 
 (** The merged trace as a Chrome-trace JSON document: process metadata
-    naming the three lanes, thread metadata for the transfer row, then
-    one complete event ([ph:"X"]) per span. *)
-let to_json (sps : span list) : Mlir.Json.t =
+    naming the three lanes, thread metadata for the transfer row, one
+    complete event ([ph:"X"]) per span and one counter event ([ph:"C"])
+    per sample. *)
+let to_json ?(counters = []) (sps : span list) : Mlir.Json.t =
   let open Mlir.Json in
   let process_meta lane =
     Obj
@@ -163,6 +194,17 @@ let to_json (sps : span list) : Mlir.Json.t =
         ("args", Obj (List.map (fun (k, v) -> (k, Int v)) sp.sp_args));
       ]
   in
+  let ctr (ct : counter) =
+    Obj
+      [
+        ("name", String ct.ct_name);
+        ("ph", String "C");
+        ("ts", Int ct.ct_ts);
+        ("pid", Int (pid_of_lane ct.ct_lane));
+        ("tid", Int 1);
+        ("args", Obj (List.map (fun (k, v) -> (k, Int v)) ct.ct_series));
+      ]
+  in
   let meta =
     List.map process_meta [ Compile; Host; Device ]
     @ [
@@ -172,8 +214,9 @@ let to_json (sps : span list) : Mlir.Json.t =
   in
   Obj
     [
-      ("traceEvents", List (meta @ List.map ev sps));
+      ("traceEvents", List (meta @ List.map ev sps @ List.map ctr counters));
       ("displayTimeUnit", String "ms");
     ]
 
-let export (sk : sink) : Mlir.Json.t = to_json (spans sk)
+let export (sk : sink) : Mlir.Json.t =
+  to_json ~counters:(counters sk) (spans sk)

@@ -58,6 +58,9 @@ type run_result = {
   kernel_launches : int;
   dependency_edges : int;
   per_kernel : (string * Cost.launch_stats) list;
+  per_kernel_attribution : (string * Sycl_sim.Attribution.table) list;
+      (** source-attributed charge tables, one per launch, in launch
+          order (paired 1:1 with [per_kernel]) *)
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
   metrics : Metrics.registry;
@@ -87,6 +90,7 @@ type state = {
   mutable r_launch_count : int;
   mutable r_deps : int;
   mutable r_per_kernel : (string * Cost.launch_stats) list;
+  mutable r_attribution : (string * Sycl_sim.Attribution.table) list;
 }
 
 let lookup st (v : Core.value) =
@@ -321,10 +325,14 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   Metrics.incr st.metrics ~by:overhead "runtime.launch_overhead_cycles";
   Profile.record_seg sg ~cat:"launch" ~name:kernel_name
     ~args:[ ("live_args", live_args) ] ~dur:overhead ();
-  (* Execute on the device simulator. *)
+  (* Execute on the device simulator. Attribution is always collected:
+     it is a pure side table (the conservation oracle checks it equals
+     the aggregate stats exactly), so collection cannot perturb the
+     run — rendering it is what the --annotate surfaces gate. *)
+  let attribution = Sycl_sim.Attribution.create () in
   let stats =
     Interp.launch ~params:st.params ?domains:st.sim_domains
-      ?check_races:st.check_races ~metrics:st.metrics
+      ?check_races:st.check_races ~metrics:st.metrics ~attribution
       ~module_op:st.module_op ~kernel ~args ~global ~wg_size:wg ()
   in
   let dev_cycles = Cost.device_cycles st.params stats in
@@ -336,6 +344,7 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
   Metrics.observe st.metrics ~bounds:Metrics.latency_bounds
     "runtime.launch_latency_cycles" !latency;
   st.r_per_kernel <- (kernel_name, stats) :: st.r_per_kernel;
+  st.r_attribution <- (kernel_name, attribution) :: st.r_attribution;
   let cmd_id = q.Objects.q_next_cmd in
   q.Objects.q_next_cmd <- cmd_id + 1;
   q.Objects.q_commands <-
@@ -573,6 +582,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
       r_launch_count = 0;
       r_deps = 0;
       r_per_kernel = [];
+      r_attribution = [];
     }
   in
   let body = Core.func_body f in
@@ -593,6 +603,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
     kernel_launches = st.r_launch_count;
     dependency_edges = st.r_deps;
     per_kernel = List.rev st.r_per_kernel;
+    per_kernel_attribution = List.rev st.r_attribution;
     events = Profile.events st.recorder;
     metrics = st.metrics;
   }

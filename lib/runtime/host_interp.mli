@@ -44,6 +44,11 @@ type run_result = {
   kernel_launches : int;
   dependency_edges : int;
   per_kernel : (string * Cost.launch_stats) list;
+  per_kernel_attribution : (string * Sycl_sim.Attribution.table) list;
+      (** per-op cycle/traffic attribution for each launch, in launch
+          order parallel to [per_kernel]; always collected (a pure side
+          table — it cannot perturb the simulation), rendered only when
+          a profiling surface asks for it *)
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
   metrics : Sycl_obs.Metrics.registry;

@@ -93,6 +93,19 @@ let merge_launch_stats ~(into : launch_stats) (src : launch_stats) =
   into.max_wg_cycles <- max into.max_wg_cycles src.max_wg_cycles;
   into.total_wg_cycles <- into.total_wg_cycles + src.total_wg_cycles
 
+(** Cycle cost of one work-group's recorded charges: the summed ALU and
+    fdiv charges amortize over the sub-group width (one integer division
+    per group — attribution distributes the quotient over charging ops
+    with a largest-remainder rule so per-op shares still sum exactly to
+    this), plus exact per-transaction memory and per-round barrier
+    costs. *)
+let wg_cycles (p : params) ~alu ~fdiv ~global ~local ~const ~barriers =
+  ((alu * p.alu_cycles) + (fdiv * p.fdiv_cycles)) / max 1 p.subgroup_size
+  + (global * p.global_mem_cycles)
+  + (local * p.local_mem_cycles)
+  + (const * p.const_mem_cycles)
+  + (barriers * p.barrier_cycles)
+
 (** Device time of a launch: work-groups spread across compute units. *)
 let device_cycles (p : params) (s : launch_stats) =
   if s.work_groups = 0 then 0

@@ -47,6 +47,21 @@ val fresh_launch_stats : unit -> launch_stats
     per-worker accumulators merge to exactly the sequential totals. *)
 val merge_launch_stats : into:launch_stats -> launch_stats -> unit
 
+(** Cycle cost of one work-group's recorded charges: summed ALU/fdiv
+    charges amortize over the sub-group width (one integer division per
+    group), plus exact per-transaction memory and per-round barrier
+    costs. The single source of truth shared by the simulator's
+    accounting and the attribution table's conservation oracle. *)
+val wg_cycles :
+  params ->
+  alu:int ->
+  fdiv:int ->
+  global:int ->
+  local:int ->
+  const:int ->
+  barriers:int ->
+  int
+
 (** Device time of a launch: work-groups spread across compute units,
     floored at the slowest work-group. *)
 val device_cycles : params -> launch_stats -> int

@@ -58,6 +58,18 @@ let as_acc = function Acc a -> a | _ -> raise (Sim_error "expected accessor valu
 (* Execution contexts                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-work-group, per-op charge record for source attribution: which op
+   incurred how many ALU/fdiv executions, raw memory accesses and barrier
+   rounds. Transactions are recovered from [mem_table] (whose key already
+   carries the op id) at flush time. *)
+type op_charge = {
+  oc_op : Core.op;
+  mutable oc_alu : int;
+  mutable oc_fdiv : int;
+  mutable oc_accesses : int;  (* raw non-private accesses, pre-coalescing *)
+  mutable oc_barriers : int;  (* barrier rounds this op's barrier closed *)
+}
+
 type wg_ctx = {
   params : Cost.params;
   stats : Cost.launch_stats;
@@ -66,6 +78,11 @@ type wg_ctx = {
   locals : (int, Memory.allocation) Hashtbl.t;  (* gpu.alloc_local slot *)
   (* (op id, occurrence, subgroup) -> set of (alloc id, line, class) *)
   mem_table : (int * int * int, (int * int * int, unit) Hashtbl.t) Hashtbl.t;
+  attribution : Attribution.table option;
+      (* source-attribution sink; None skips per-op bookkeeping *)
+  op_charges : (int, op_charge) Hashtbl.t;  (* op id -> per-wg charges *)
+  mutable cur_barrier : Core.op option;
+      (* the barrier op the group is currently suspended at *)
   mutable wg_alu : int;
   mutable wg_fdiv : int;
   mutable wg_barriers : int;
@@ -92,8 +109,28 @@ let lookup ctx (v : Core.value) =
 
 let bind ctx (v : Core.value) rv = Hashtbl.replace ctx.env v.Core.vid rv
 
-let alu ctx = ctx.wg.wg_alu <- ctx.wg.wg_alu + 1
-let fdiv ctx = ctx.wg.wg_fdiv <- ctx.wg.wg_fdiv + 1
+(* Every charge names the charging op so attribution can account it to
+   the op's source location; the per-wg aggregate counters stay the
+   single source of truth for the cost formula. *)
+let op_charge (wg : wg_ctx) (op : Core.op) =
+  match Hashtbl.find_opt wg.op_charges op.Core.oid with
+  | Some c -> c
+  | None ->
+    let c = { oc_op = op; oc_alu = 0; oc_fdiv = 0; oc_accesses = 0; oc_barriers = 0 } in
+    Hashtbl.replace wg.op_charges op.Core.oid c;
+    c
+
+let alu ctx op =
+  ctx.wg.wg_alu <- ctx.wg.wg_alu + 1;
+  if Option.is_some ctx.wg.attribution then
+    let c = op_charge ctx.wg op in
+    c.oc_alu <- c.oc_alu + 1
+
+let fdiv ctx op =
+  ctx.wg.wg_fdiv <- ctx.wg.wg_fdiv + 1;
+  if Option.is_some ctx.wg.attribution then
+    let c = op_charge ctx.wg op in
+    c.oc_fdiv <- c.oc_fdiv + 1
 
 (* Latency class: 0 = global, 1 = local, 2 = constant-cached. *)
 let latency_class (a : Memory.allocation) =
@@ -104,8 +141,12 @@ let latency_class (a : Memory.allocation) =
 
 let record_access ctx (op : Core.op) (view : Memory.view) (idx : int list) =
   match view.Memory.base.Memory.space with
-  | Types.Private -> alu ctx
+  | Types.Private -> alu ctx op
   | _ ->
+    if Option.is_some ctx.wg.attribution then begin
+      let c = op_charge ctx.wg op in
+      c.oc_accesses <- c.oc_accesses + 1
+    end;
     let lin = Memory.linear_index view idx in
     let line = lin / ctx.wg.params.Cost.cache_line_elems in
     let occ = Option.value ~default:0 (Hashtbl.find_opt ctx.occ op.Core.oid) in
@@ -225,12 +266,12 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
   let operand i = lookup ctx (Core.operand op i) in
   let bind_result i rv = bind ctx (Core.result op i) rv in
   let int2 f =
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I (f (as_int (operand 0)) (as_int (operand 1))));
     `Next
   in
   let float2 f =
-    alu ctx;
+    alu ctx op;
     bind_result 0 (F (f (as_float (operand 0)) (as_float (operand 1))));
     `Next
   in
@@ -244,8 +285,8 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
   | "arith.addi" -> int2 ( + )
   | "arith.subi" -> int2 ( - )
   | "arith.muli" -> int2 ( * )
-  | "arith.divsi" -> fdiv ctx; bind_result 0 (I (as_int (operand 0) / as_int (operand 1))); `Next
-  | "arith.remsi" -> fdiv ctx; bind_result 0 (I (as_int (operand 0) mod as_int (operand 1))); `Next
+  | "arith.divsi" -> fdiv ctx op; bind_result 0 (I (as_int (operand 0) / as_int (operand 1))); `Next
+  | "arith.remsi" -> fdiv ctx op; bind_result 0 (I (as_int (operand 0) mod as_int (operand 1))); `Next
   | "arith.andi" -> int2 ( land )
   | "arith.ori" -> int2 ( lor )
   | "arith.xori" -> int2 ( lxor )
@@ -254,15 +295,15 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
   | "arith.addf" -> float2 ( +. )
   | "arith.subf" -> float2 ( -. )
   | "arith.mulf" -> float2 ( *. )
-  | "arith.divf" -> fdiv ctx; bind_result 0 (F (as_float (operand 0) /. as_float (operand 1))); `Next
+  | "arith.divf" -> fdiv ctx op; bind_result 0 (F (as_float (operand 0) /. as_float (operand 1))); `Next
   | "arith.minimumf" -> float2 Float.min
   | "arith.maximumf" -> float2 Float.max
   | "arith.negf" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (F (-.as_float (operand 0)));
     `Next
   | "arith.cmpi" ->
-    alu ctx;
+    alu ctx op;
     let p =
       match Dialects.Arith.icmp_predicate op with
       | Some p -> p
@@ -272,7 +313,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
       (I (Bool.to_int (Dialects.Arith.eval_icmp p (as_int (operand 0)) (as_int (operand 1)))));
     `Next
   | "arith.cmpf" ->
-    alu ctx;
+    alu ctx op;
     let p =
       match Option.bind (Core.attr_string op "predicate") Dialects.Arith.fcmp_pred_of_string with
       | Some p -> p
@@ -282,23 +323,23 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
       (I (Bool.to_int (Dialects.Arith.eval_fcmp p (as_float (operand 0)) (as_float (operand 1)))));
     `Next
   | "arith.select" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (if as_int (operand 0) <> 0 then operand 1 else operand 2);
     `Next
   | "arith.index_cast" ->
     bind_result 0 (I (as_int (operand 0)));
     `Next
   | "arith.sitofp" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (F (float_of_int (as_int (operand 0))));
     `Next
   | "arith.fptosi" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I (int_of_float (as_float (operand 0))));
     `Next
-  | "math.sqrt" -> fdiv ctx; bind_result 0 (F (Float.sqrt (as_float (operand 0)))); `Next
-  | "math.exp" -> fdiv ctx; bind_result 0 (F (Float.exp (as_float (operand 0)))); `Next
-  | "math.absf" -> alu ctx; bind_result 0 (F (Float.abs (as_float (operand 0)))); `Next
+  | "math.sqrt" -> fdiv ctx op; bind_result 0 (F (Float.sqrt (as_float (operand 0)))); `Next
+  | "math.exp" -> fdiv ctx op; bind_result 0 (F (Float.exp (as_float (operand 0)))); `Next
+  | "math.absf" -> alu ctx op; bind_result 0 (F (Float.abs (as_float (operand 0)))); `Next
   | "memref.alloca" | "memref.alloc" ->
     let size, dims = alloc_size_of_type (Core.result op 0).Core.vty in
     let space =
@@ -345,7 +386,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     `Next
   | "memref.dealloc" -> `Next
   | "affine.apply" ->
-    alu ctx;
+    alu ctx op;
     let m = Dialects.Affine_ops.access_map op in
     let dims = Array.of_list (List.map (fun v -> as_int (lookup ctx v)) (Core.operands op)) in
     (match Affine_expr.Map.eval m ~dims ~syms:[||] with
@@ -389,7 +430,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     let rec iterate i acc =
       if i >= ub then acc
       else begin
-        alu ctx;
+        alu ctx op;
         bind ctx iv (I i);
         List.iter2 (fun a v -> bind ctx a v) iter_args acc;
         let yielded = exec_block ctx body in
@@ -418,7 +459,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     let rec iterate i acc =
       if i >= ub then acc
       else begin
-        alu ctx;
+        alu ctx op;
         bind ctx iv (I i);
         List.iter2 (fun a v -> bind ctx a v) iter_args acc;
         let yielded = exec_block ctx body in
@@ -429,7 +470,7 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     List.iteri (fun i rv -> bind_result i rv) final;
     `Next
   | "scf.if" ->
-    alu ctx;
+    alu ctx op;
     let c = as_int (operand 0) <> 0 in
     let results =
       if c then exec_region ctx op.Core.regions.(0)
@@ -456,37 +497,41 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
       | None -> raise (Sim_error ("call to unknown device function " ^ callee)))
     | None -> raise (Sim_error "call without callee"))
   | "gpu.barrier" | "sycl.group_barrier" ->
+    (* Remember which barrier op the group converges at, so the round
+       charged by the scheduler can be attributed to it. Fibers of a
+       group run sequentially, so this is deterministic. *)
+    ctx.wg.cur_barrier <- Some op;
     Effect.perform Barrier;
     `Next
   (* --- SYCL getters --- *)
   | "sycl.item.get_id" | "sycl.nd_item.get_global_id" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I ctx.gid.(getter_dim ctx op));
     `Next
   | "sycl.nd_item.get_local_id" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I ctx.lid.(getter_dim ctx op));
     `Next
   | "sycl.nd_item.get_group_id" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I ctx.grp.(getter_dim ctx op));
     `Next
   | "sycl.item.get_range" | "sycl.nd_item.get_global_range" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I ctx.global_range.(getter_dim ctx op));
     `Next
   | "sycl.nd_item.get_local_range" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I ctx.local_range.(getter_dim ctx op));
     `Next
   | "sycl.item.get_linear_id" ->
-    alu ctx;
+    alu ctx op;
     let lin = ref 0 in
     Array.iteri (fun d g -> lin := (!lin * ctx.global_range.(d)) + g) ctx.gid;
     bind_result 0 (I !lin);
     `Next
   | "sycl.id.get" | "sycl.range.get" ->
-    alu ctx;
+    alu ctx op;
     let v = as_mem (operand 0) in
     bind_result 0 (I (Memory.cell_to_int (Memory.read v [ getter_dim ctx op ])));
     `Next
@@ -494,28 +539,28 @@ and exec_op ctx (op : Core.op) : [ `Next | `Yield of rv list ] =
     let out = as_mem (operand 0) in
     List.iteri
       (fun i v ->
-        alu ctx;
+        alu ctx op;
         Memory.write out [ i ] (Memory.I (as_int (lookup ctx v))))
       (Sycl_ops.constructor_args op);
     `Next
   | "sycl.accessor.subscript" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (Mem (subscript_view ctx op));
     `Next
   | "sycl.accessor.get_range" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I (as_acc (operand 0)).a_range.(getter_dim ctx op));
     `Next
   | "sycl.accessor.get_mem_range" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I (as_acc (operand 0)).a_mem_range.(getter_dim ctx op));
     `Next
   | "sycl.accessor.get_offset" ->
-    alu ctx;
+    alu ctx op;
     bind_result 0 (I (as_acc (operand 0)).a_offset.(getter_dim ctx op));
     `Next
   | "sycl.accessor.distinct" ->
-    alu ctx;
+    alu ctx op;
     let a = as_acc (operand 0) and b = as_acc (operand 1) in
     bind_result 0 (I (Bool.to_int (a.a_alloc.Memory.aid <> b.a_alloc.Memory.aid)));
     `Next
@@ -553,6 +598,11 @@ let run_workgroup (wg : wg_ctx) (thunks : (unit -> unit) list) =
     else if done_count > 0 then raise Barrier_divergence
     else begin
       wg.wg_barriers <- wg.wg_barriers + 1;
+      (match (wg.cur_barrier, wg.attribution) with
+      | Some op, Some _ ->
+        let c = op_charge wg op in
+        c.oc_barriers <- c.oc_barriers + 1
+      | _ -> ());
       let next =
         List.map
           (fun s ->
@@ -565,6 +615,82 @@ let run_workgroup (wg : wg_ctx) (thunks : (unit -> unit) list) =
     end
   in
   rounds statuses
+
+(* Distribute one work-group's charges over its charging ops into the
+   attribution table. Memory transactions and barrier rounds carry exact
+   per-op cycle costs; the compute quotient
+   [(alu*alu_cycles + fdiv*fdiv_cycles) / subgroup_size] is divided once
+   per group, so per-op shares use largest-remainder apportionment in
+   canonical op (creation) order — the shares then sum exactly to the
+   group's compute cycles, which makes the attribution total equal
+   [total_wg_cycles] and keeps the result independent of domain
+   chunking (everything here is per-group state). *)
+let attribute_wg (wg : wg_ctx) (tab : Attribution.table) =
+  let p = wg.params in
+  (* Per-op transaction counts by class, recovered from the coalescing
+     table (its key already names the op). *)
+  let mem : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (oid, _, _) tbl ->
+      let counts =
+        match Hashtbl.find_opt mem oid with
+        | Some a -> a
+        | None ->
+          let a = [| 0; 0; 0 |] in
+          Hashtbl.replace mem oid a;
+          a
+      in
+      Hashtbl.iter
+        (fun (_, _, cls) () ->
+          let i = if cls = 0 then 0 else if cls = 1 then 1 else 2 in
+          counts.(i) <- counts.(i) + 1)
+        tbl)
+    wg.mem_table;
+  let charges =
+    Hashtbl.fold (fun _ c acc -> c :: acc) wg.op_charges []
+    |> List.sort (fun a b -> compare a.oc_op.Core.oid b.oc_op.Core.oid)
+  in
+  let sgs = max 1 p.Cost.subgroup_size in
+  let weight c = (c.oc_alu * p.Cost.alu_cycles) + (c.oc_fdiv * p.Cost.fdiv_cycles) in
+  let total_weight = List.fold_left (fun acc c -> acc + weight c) 0 charges in
+  let compute_cycles = total_weight / sgs in
+  let base_sum = List.fold_left (fun acc c -> acc + (weight c / sgs)) 0 charges in
+  let leftover = compute_cycles - base_sum in
+  (* The ops receiving one extra cycle each: largest remainder first,
+     ties by canonical op order. *)
+  let extra : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.map (fun c -> (weight c mod sgs, c.oc_op.Core.oid)) charges
+  |> List.filter (fun (r, _) -> r > 0)
+  |> List.sort (fun (ra, oa) (rb, ob) -> compare (-ra, oa) (-rb, ob))
+  |> List.iteri (fun i (_, oid) -> if i < leftover then Hashtbl.replace extra oid ());
+  List.iter
+    (fun c ->
+      let oid = c.oc_op.Core.oid in
+      let m = Option.value ~default:[| 0; 0; 0 |] (Hashtbl.find_opt mem oid) in
+      let mem_cycles =
+        (m.(0) * p.Cost.global_mem_cycles)
+        + (m.(1) * p.Cost.local_mem_cycles)
+        + (m.(2) * p.Cost.const_mem_cycles)
+      in
+      let compute_share =
+        (weight c / sgs) + if Hashtbl.mem extra oid then 1 else 0
+      in
+      let cycles =
+        compute_share + mem_cycles + (c.oc_barriers * p.Cost.barrier_cycles)
+      in
+      let row =
+        Attribution.row tab ~op_name:c.oc_op.Core.name ~loc:c.oc_op.Core.loc
+      in
+      row.Attribution.c_alu <- row.Attribution.c_alu + c.oc_alu;
+      row.Attribution.c_fdiv <- row.Attribution.c_fdiv + c.oc_fdiv;
+      row.Attribution.c_global <- row.Attribution.c_global + m.(0);
+      row.Attribution.c_local <- row.Attribution.c_local + m.(1);
+      row.Attribution.c_const <- row.Attribution.c_const + m.(2);
+      row.Attribution.c_accesses <- row.Attribution.c_accesses + c.oc_accesses;
+      row.Attribution.c_barriers <- row.Attribution.c_barriers + c.oc_barriers;
+      row.Attribution.c_cycles <- row.Attribution.c_cycles + cycles;
+      row.Attribution.c_mem_cycles <- row.Attribution.c_mem_cycles + mem_cycles)
+    charges
 
 (** Flush a work-group's bookkeeping into the launch statistics. *)
 let flush_wg (wg : wg_ctx) (n_items : int) =
@@ -587,15 +713,12 @@ let flush_wg (wg : wg_ctx) (n_items : int) =
   s.Cost.work_groups <- s.Cost.work_groups + 1;
   s.Cost.work_items <- s.Cost.work_items + n_items;
   let wg_cycles =
-    ((wg.wg_alu * p.Cost.alu_cycles) + (wg.wg_fdiv * p.Cost.fdiv_cycles))
-    / max 1 p.Cost.subgroup_size
-    + (!g * p.Cost.global_mem_cycles)
-    + (!l * p.Cost.local_mem_cycles)
-    + (!c * p.Cost.const_mem_cycles)
-    + (wg.wg_barriers * p.Cost.barrier_cycles)
+    Cost.wg_cycles p ~alu:wg.wg_alu ~fdiv:wg.wg_fdiv ~global:!g ~local:!l
+      ~const:!c ~barriers:wg.wg_barriers
   in
   s.Cost.total_wg_cycles <- s.Cost.total_wg_cycles + wg_cycles;
-  if wg_cycles > s.Cost.max_wg_cycles then s.Cost.max_wg_cycles <- wg_cycles
+  if wg_cycles > s.Cost.max_wg_cycles then s.Cost.max_wg_cycles <- wg_cycles;
+  Option.iter (attribute_wg wg) wg.attribution
 
 (* ------------------------------------------------------------------ *)
 (* Cross-group race detection                                          *)
@@ -677,8 +800,12 @@ let default_check_races () = Atomic.get check_races_default
     the accumulated launch statistics. When [metrics] is given, device
     execution counters (work-groups, work-items, barriers) are recorded
     into it through per-domain shards merged in canonical chunk order,
-    so the registry contents are independent of the domain count. *)
-let launch ?(params = Cost.default) ?domains ?check_races ?metrics
+    so the registry contents are independent of the domain count. When
+    [attribution] is given, every charge is additionally accounted to
+    the charging op's source location into that table — through
+    worker-private shards merged in the same canonical chunk order, so
+    the table is byte-identical whatever the domain count. *)
+let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
     ~(module_op : Core.op) ~(kernel : Core.op) ~(args : rv array)
     ~(global : int list) ~(wg_size : int list) () : Cost.launch_stats =
   let domains =
@@ -731,7 +858,8 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics
      in the sequential backend, a worker-private record in the parallel
      one — group results are independent, so where they accumulate only
      affects scheduling, never the merged totals). *)
-  let run_group (into : Cost.launch_stats) (g : int) =
+  let run_group (into : Cost.launch_stats) (atab : Attribution.table option)
+      (g : int) =
     let grp = unflatten group_range g in
     let wg =
       {
@@ -741,6 +869,9 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics
           (match footprints with Some a -> Some a.(g) | None -> None);
         locals = Hashtbl.create 4;
         mem_table = Hashtbl.create 256;
+        attribution = atab;
+        op_charges = Hashtbl.create 64;
+        cur_barrier = None;
         wg_alu = 0;
         wg_fdiv = 0;
         wg_barriers = 0;
@@ -797,9 +928,9 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics
   in
   if d <= 1 then begin
     (* Sequential backend: groups in canonical order into the shared
-       stats record. *)
+       stats record (and attribution table). *)
     for g = 0 to n_groups - 1 do
-      run_group stats g
+      run_group stats attribution g
     done;
     match sharded with
     | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh 0) stats
@@ -820,12 +951,14 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics
     in
     let run_chunk i =
       let s = Cost.fresh_launch_stats () in
+      (* Worker-private attribution shard, merged in chunk order below. *)
+      let at = Option.map (fun _ -> Attribution.create ()) attribution in
       let failure = ref None in
       let start, stop = chunk i in
       let g = ref start in
       (try
          while !g < stop do
-           run_group s !g;
+           run_group s at !g;
            incr g
          done
        with e -> failure := Some (!g, e));
@@ -834,17 +967,24 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics
       (match sharded with
       | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh i) s
       | None -> ());
-      (s, !failure)
+      (s, at, !failure)
     in
     let workers =
       Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run_chunk (i + 1)))
     in
     let first = run_chunk 0 in
     let results = Array.append [| first |] (Array.map Domain.join workers) in
-    Array.iter (fun (s, _) -> Cost.merge_launch_stats ~into:stats s) results;
+    Array.iter (fun (s, _, _) -> Cost.merge_launch_stats ~into:stats s) results;
+    (match attribution with
+    | Some into ->
+      Array.iter
+        (fun (_, at, _) ->
+          match at with Some src -> Attribution.merge ~into src | None -> ())
+        results
+    | None -> ());
     let first_failure =
       Array.fold_left
-        (fun acc (_, f) ->
+        (fun acc (_, _, f) ->
           match (acc, f) with
           | None, f -> f
           | Some (g0, _), Some (g, _) when g < g0 -> f

@@ -19,8 +19,19 @@ module Service = Sycl_service.Service
    sweep of the suite — cache hit/miss/eviction counters, compile-latency
    percentiles in deterministic cost units (gated by [compare_reports]
    like cycles), and measured wall-clock throughput (informational only:
-   machine-dependent, never gated, excluded from determinism diffs). *)
-let schema_version = 3
+   machine-dependent, never gated, excluded from determinism diffs).
+   v4: every workload carries a "hotspots" section — the top-3 source
+   lines by attributed device cycles from a located SYCL-MLIR run — so a
+   cycle regression flagged by [compare_reports] names the line that now
+   dominates. Informational context, not a separate gate. *)
+let schema_version = 4
+
+(** One hotspot line of a workload's located SYCL-MLIR run. *)
+type hotspot = {
+  h_line : string;  (** ["file:line"] into the workload's virtual IR dump *)
+  h_cycles : int;  (** attributed device cycles *)
+  h_share : float;  (** fraction of the workload's attributed cycles *)
+}
 
 type config_metrics = {
   cm_cycles : int;
@@ -49,6 +60,8 @@ type entry = {
   e_speedup : float;  (** SYCL-MLIR cycles vs. the DPC++ baseline *)
   e_pass_stats : (string * int) list;
       (** merged compile-time statistics of the SYCL-MLIR pipeline *)
+  e_hotspots : hotspot list;
+      (** top-3 source lines by attributed device cycles (v4) *)
 }
 
 (* The v3 "service" section: one two-round compile-service sweep of the
@@ -105,6 +118,31 @@ let metrics_of (m : Common.measurement) : config_metrics =
     cm_launch_p99 = pct 99.0;
   }
 
+(** The workload's top-[n] hotspot lines, from an extra annotated run:
+    the located copy (printed and re-parsed under a virtual file name)
+    measured under the SYCL-MLIR configuration. Deterministic — the
+    simulator and the attribution's canonical ordering are. *)
+let top_hotspots ?(n = 3) (w : Common.workload) : hotspot list =
+  let m =
+    Common.measure
+      (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir)
+      (Annotate.located_workload w)
+  in
+  let tab = Annotate.merged_attribution m.Common.m_result in
+  let total = Sycl_sim.Attribution.total_cycles tab in
+  Sycl_sim.Attribution.by_line tab
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map (fun (r : Sycl_sim.Attribution.line_row) ->
+         {
+           h_line = r.Sycl_sim.Attribution.l_line;
+           h_cycles = r.Sycl_sim.Attribution.l_cycles;
+           h_share =
+             (if total = 0 then 0.0
+              else
+                float_of_int r.Sycl_sim.Attribution.l_cycles
+                /. float_of_int total);
+         })
+
 let entry_of_comparison (c : Common.comparison) : entry =
   let w = c.Common.c_workload in
   {
@@ -120,6 +158,7 @@ let entry_of_comparison (c : Common.comparison) : entry =
       @ [ ("sycl-mlir", metrics_of c.Common.c_sycl_mlir) ];
     e_speedup = Common.speedup c.Common.c_base c.Common.c_sycl_mlir;
     e_pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats;
+    e_hotspots = top_hotspots w;
   }
 
 (* Sweep every workload module through the compile service twice: round
@@ -214,6 +253,12 @@ let metrics_to_json (m : config_metrics) : Json.t =
                   ("p90", Json.Int m.cm_launch_p90);
                   ("p99", Json.Int m.cm_launch_p99) ] ) ] ) ]
 
+let hotspot_to_json (h : hotspot) : Json.t =
+  Json.Obj
+    [ ("line", Json.String h.h_line);
+      ("cycles", Json.Int h.h_cycles);
+      ("share", Json.Float h.h_share) ]
+
 let entry_to_json (e : entry) : Json.t =
   Json.Obj
     [ ("name", Json.String e.e_name);
@@ -223,7 +268,8 @@ let entry_to_json (e : entry) : Json.t =
         Json.Obj (List.map (fun (k, m) -> (k, metrics_to_json m)) e.e_configs) );
       ("speedup_sycl_mlir", Json.Float e.e_speedup);
       ( "pass_stats",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) ) ]
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) );
+      ("hotspots", Json.List (List.map hotspot_to_json e.e_hotspots)) ]
 
 (* The "measured" subobject isolates every machine-dependent field; CI's
    determinism comparison drops exactly that subtree and compares the
@@ -308,6 +354,19 @@ let entry_of_json (j : Json.t) : entry =
             | None -> fail "pass_stats value for %S is not an integer" k)
           kvs
       | _ -> fail "missing or ill-typed field %S" "pass_stats");
+    e_hotspots =
+      (match Json.member "hotspots" j with
+      | Some (Json.List items) ->
+        List.map
+          (fun h ->
+            {
+              h_line = get_str h "line";
+              h_cycles = get_int h "cycles";
+              h_share =
+                req "share" (Option.bind (Json.member "share" h) Json.as_float);
+            })
+          items
+      | _ -> fail "missing or ill-typed field %S" "hotspots");
   }
 
 let get_float j name =
@@ -407,21 +466,32 @@ let compare_reports ?(tolerance = 0.05) ~(baseline : report)
                 int_of_float
                   (Float.round (float_of_int v *. (1.0 +. tolerance)))
               in
-              let gate kind what old_v new_v =
+              let gate ?(hint = "") kind what old_v new_v =
                 if new_v > budget_of old_v then
                   add
                     { i_kind = kind; i_workload = old_e.e_name;
                       i_config = cfg;
                       i_detail =
                         Printf.sprintf
-                          "%s regressed %d -> %d (+%.1f%%, tolerance %.1f%%)"
+                          "%s regressed %d -> %d (+%.1f%%, tolerance %.1f%%)%s"
                           what old_v new_v
                           (100.0
                           *. (float_of_int new_v /. float_of_int (max 1 old_v)
                              -. 1.0))
-                          (100.0 *. tolerance) }
+                          (100.0 *. tolerance) hint }
               in
-              gate Cycle_regression "cycles" old_m.cm_cycles new_m.cm_cycles;
+              (* A cycle regression names the line that now dominates the
+                 workload (the v4 hotspot section) — the gate itself stays
+                 on the cycle tolerance. *)
+              let hot_hint =
+                match new_e.e_hotspots with
+                | h :: _ ->
+                  Printf.sprintf "; hottest line: %s (%d cycles, %.1f%%)"
+                    h.h_line h.h_cycles (100.0 *. h.h_share)
+                | [] -> ""
+              in
+              gate ~hint:hot_hint Cycle_regression "cycles" old_m.cm_cycles
+                new_m.cm_cycles;
               gate Latency_regression "launch latency p50"
                 old_m.cm_launch_p50 new_m.cm_launch_p50;
               gate Latency_regression "launch latency p90"

@@ -20,6 +20,14 @@ type config_metrics = {
   cm_launch_p99 : int;
 }
 
+(** One hotspot line of a workload's located SYCL-MLIR run (the v4
+    "hotspots" section — context for cycle regressions, never gated). *)
+type hotspot = {
+  h_line : string;  (** ["file:line"] into the workload's virtual IR dump *)
+  h_cycles : int;
+  h_share : float;
+}
+
 type entry = {
   e_name : string;
   e_category : string;
@@ -27,6 +35,8 @@ type entry = {
   e_configs : (string * config_metrics) list;
   e_speedup : float;
   e_pass_stats : (string * int) list;
+  e_hotspots : hotspot list;
+      (** top-3 source lines by attributed device cycles *)
 }
 
 (** The v3 report-level "service" section: counters and cost-unit
@@ -54,6 +64,11 @@ type report = {
 }
 
 val metrics_of : Common.measurement -> config_metrics
+
+(** The workload's top-[n] (default 3) hotspot lines from an extra
+    annotated SYCL-MLIR run of its located copy. *)
+val top_hotspots : ?n:int -> Common.workload -> hotspot list
+
 val entry_of_comparison : Common.comparison -> entry
 
 (** Sweep the workloads' modules through a fresh compile service twice

@@ -94,6 +94,7 @@ type measurement = {
   m_valid : bool;
   m_result : Host_interp.run_result;
   m_stats : Pass.Stats.t;  (** merged compile-time pass statistics *)
+  m_module : Core.op;  (** the compiled module (for annotated IR dumps) *)
 }
 
 exception Unsupported of string
@@ -138,6 +139,7 @@ let measure ?(params = Cost.default) ?(instrumentations = [])
     m_valid = validate ();
     m_result = result;
     m_stats = Pass.merged_stats compiled.Driver.pipeline_result;
+    m_module = m;
   }
 
 let default_configs =

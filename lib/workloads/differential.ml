@@ -123,6 +123,13 @@ let render_digest (r : Common.Host_interp.run_result)
       Buffer.add_string buf
         (Format.asprintf "%s: %a\n" name Common.Cost.pp_launch_stats s))
     r.H.per_kernel;
+  (* Per-op attribution rows in canonical order: the determinism and
+     telemetry oracles cover the profiler's accounting byte-for-byte. *)
+  List.iter
+    (fun (name, tab) ->
+      Buffer.add_string buf (Printf.sprintf "attribution %s:\n" name);
+      Buffer.add_string buf (Sycl_sim.Attribution.render tab))
+    r.H.per_kernel_attribution;
   List.iter
     (fun (e : P.event) ->
       Buffer.add_string buf
@@ -179,6 +186,44 @@ let check_parallel ?(domains = 4) (w : Common.workload) :
       ~what:(w.Common.w_name ^ " run digest") ~reference ~subject ()
 
 (* ------------------------------------------------------------------ *)
+(* Oracle (g): attribution conservation                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Every launch's attribution table must decompose its launch stats
+    exactly: each counter column sums to the corresponding
+    [Cost.launch_stats] field and the cycle column to [total_wg_cycles]
+    ({!Sycl_sim.Attribution.conserves}). *)
+let check_attribution (w : Common.workload) : (unit, Difftest.failure) result =
+  let module H = Common.Host_interp in
+  let fail detail =
+    Error
+      { Difftest.f_oracle = "attribution-conservation";
+        f_detail = w.Common.w_name ^ ": " ^ detail; f_ir = None }
+  in
+  match
+    let m = w.Common.w_module () in
+    ignore (Pass.run_pipeline ~verify_each:false (full_pipeline ()) m);
+    let args, _ = w.Common.w_data () in
+    H.run ~module_op:m args
+  with
+  | exception e -> fail (Printf.sprintf "execution raised %s" (Printexc.to_string e))
+  | r -> (
+    if
+      List.length r.H.per_kernel <> List.length r.H.per_kernel_attribution
+    then fail "per_kernel and per_kernel_attribution lists disagree"
+    else
+      match
+        List.find_map
+          (fun ((name, stats), (_, tab)) ->
+            match Sycl_sim.Attribution.conserves tab stats with
+            | Ok () -> None
+            | Error msg -> Some (name ^ ": " ^ msg))
+          (List.combine r.H.per_kernel r.H.per_kernel_attribution)
+      with
+      | Some detail -> fail detail
+      | None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* Oracle (e): telemetry neutrality                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -205,7 +250,20 @@ let telemetry_run (w : Common.workload) ~(telemetry : bool) : string * string =
       (Sycl_sim.Profile.trace_spans ~base:(Sycl_obs.Trace.span_end sink)
          r.H.events);
     ignore (Json.to_string (Sycl_obs.Trace.export sink));
-    ignore (Json.to_string (Sycl_obs.Metrics.to_json r.H.metrics))
+    ignore (Json.to_string (Sycl_obs.Metrics.to_json r.H.metrics));
+    (* And the profiler surfaces (--annotate): the hotspot report, the
+       attribution JSON and an annotated IR dump. The annotation writes
+       into a re-parsed clone — the module under test must stay
+       byte-identical. *)
+    let tab = Sycl_sim.Attribution.create () in
+    List.iter
+      (fun (_, src) -> Sycl_sim.Attribution.merge ~into:tab src)
+      r.H.per_kernel_attribution;
+    ignore (Sycl_sim.Attribution.hotspots_to_string tab);
+    ignore (Json.to_string (Sycl_sim.Attribution.to_json tab));
+    let clone = Parser.parse_module ir in
+    Sycl_sim.Attribution.annotate_module tab clone;
+    ignore (Printer.to_string clone)
   end;
   (ir, render_digest r args ~valid:(validate ()))
 

@@ -1,0 +1,203 @@
+(* The source-attributed hotspot profiler: conservation against launch
+   statistics, domain-count independence of every rendering, the golden
+   matmul hotspot table, annotated-IR round-tripping and the
+   Fused/CallSite join of the optimization-delta report. *)
+
+open Mlir
+open Sycl_workloads
+module Attribution = Sycl_sim.Attribution
+module H = Sycl_runtime.Host_interp
+
+let matmul_text () =
+  In_channel.with_open_text "../examples/matmul.mlir" In_channel.input_all
+
+(* Parse the matmul example under its basename (the run_file convention),
+   compile it with the default SYCL-MLIR pipeline and run it with
+   synthesized size-16 arguments — exactly what
+   `sycl-bench --file examples/matmul.mlir` does. *)
+let run_matmul ?sim_domains () =
+  Helpers.init ();
+  let m = Parser.parse_module ~file:"matmul.mlir" (matmul_text ()) in
+  ignore
+    (Sycl_core.Driver.compile (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir) m);
+  let args = Annotate.synth_args m ~size:16 in
+  (m, H.run ?sim_domains ~module_op:m args)
+
+let merged r = Annotate.merged_attribution r
+
+let tests_list =
+  [
+    Alcotest.test_case "matmul: attribution conserves launch stats exactly"
+      `Quick (fun () ->
+        let _, r = run_matmul () in
+        (match Annotate.check_conservation r with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "conservation violated: %s" msg);
+        (* And the merged table's cycle total equals the summed per-launch
+           work-group cycles. *)
+        let total_stats =
+          List.fold_left
+            (fun acc (_, s) -> acc + s.Sycl_sim.Cost.total_wg_cycles)
+            0 r.H.per_kernel
+        in
+        Alcotest.(check int) "total cycles" total_stats
+          (Attribution.total_cycles (merged r)));
+    Alcotest.test_case "matmul: >= 95%% of cycles land on known lines" `Quick
+      (fun () ->
+        let _, r = run_matmul () in
+        let f = Attribution.known_cycle_fraction (merged r) in
+        if f < 0.95 then
+          Alcotest.failf "known-location fraction %.3f < 0.95" f);
+    Alcotest.test_case "matmul: golden hotspot table" `Quick (fun () ->
+        let _, r = run_matmul () in
+        let golden =
+          In_channel.with_open_text "../examples/matmul.hotspots.txt"
+            In_channel.input_all
+        in
+        Alcotest.(check string) "hotspot report"
+          golden
+          (Attribution.hotspots_to_string (merged r)));
+    Alcotest.test_case "matmul: 1-domain and 4-domain output byte-identical"
+      `Quick (fun () ->
+        let _, r1 = run_matmul ~sim_domains:1 () in
+        let _, r4 = run_matmul ~sim_domains:4 () in
+        let t1 = merged r1 and t4 = merged r4 in
+        Alcotest.(check string) "canonical render" (Attribution.render t1)
+          (Attribution.render t4);
+        Alcotest.(check string) "JSON"
+          (Json.to_string (Attribution.to_json t1))
+          (Json.to_string (Attribution.to_json t4));
+        Alcotest.(check string) "hotspot report"
+          (Attribution.hotspots_to_string t1)
+          (Attribution.hotspots_to_string t4));
+    Alcotest.test_case "annotated IR round-trips and strips" `Quick (fun () ->
+        let m, r = run_matmul () in
+        Attribution.annotate_module (merged r) m;
+        let text = Printer.to_string m in
+        if not (Helpers.count_ops m "func.func" > 0) then
+          Alcotest.fail "module lost its functions";
+        (* The sycl.cycles attributes survive print -> parse -> verify and
+           print back identically. *)
+        let parsed = Parser.parse_module text in
+        Helpers.check_verifies ~msg:"annotated module verifies" parsed;
+        Alcotest.(check string) "fixpoint print" text (Printer.to_string parsed);
+        let has_cycles op =
+          Core.attr op Sycl_core.Analysis_printer.cycles_attr <> None
+        in
+        let any p m =
+          let found = ref false in
+          Core.walk m ~f:(fun op -> if p op then found := true);
+          !found
+        in
+        Alcotest.(check bool) "annotations present" true (any has_cycles parsed);
+        Sycl_core.Analysis_printer.strip_annotations parsed;
+        Alcotest.(check bool) "annotations stripped" false
+          (any has_cycles parsed));
+    Alcotest.test_case "delta: Fused/CallSite constituents join the primary line"
+      `Quick (fun () ->
+        let before = Attribution.create () in
+        let after = Attribution.create () in
+        let f file line = Loc.file ~file ~line ~col:1 in
+        (* Unoptimized: two separate source lines with costs. *)
+        let b1 = Attribution.row before ~op_name:"memref.load" ~loc:(f "k.mlir" 4) in
+        b1.Attribution.c_cycles <- 100;
+        let b2 = Attribution.row before ~op_name:"memref.load" ~loc:(f "k.mlir" 9) in
+        b2.Attribution.c_cycles <- 60;
+        (* Optimized: line 9 survives only as a Fused constituent of the
+           row primarily at line 4; a CallSite row inlined from line 20. *)
+        let fused = Loc.fused [ f "k.mlir" 4; f "k.mlir" 9 ] in
+        let a1 = Attribution.row after ~op_name:"memref.load" ~loc:fused in
+        a1.Attribution.c_cycles <- 70;
+        let cs = Loc.callsite ~callee:(f "k.mlir" 20) ~caller:(f "k.mlir" 4) in
+        let a2 = Attribution.row after ~op_name:"arith.addf" ~loc:cs in
+        a2.Attribution.c_cycles <- 10;
+        let remark loc =
+          { Remarks.r_pass = "licm"; r_name = "licm"; r_kind = Remarks.Passed;
+            r_func = "k"; r_op = "memref.load";
+            r_message = "hoisted"; r_loc = loc }
+        in
+        (* The remark is anchored at line 9 — which survived only inside
+           the fused location — and must land on that row's primary line. *)
+        let ds =
+          Attribution.delta ~before ~after
+            ~remarks:[ remark (f "k.mlir" 9) ]
+        in
+        let primary = Attribution.line_of_loc fused in
+        let row =
+          match
+            List.find_opt (fun d -> d.Attribution.d_line = primary) ds
+          with
+          | Some d -> d
+          | None -> Alcotest.failf "no delta row for %s" primary
+        in
+        Alcotest.(check int) "before (line 4's own cycles)" 100
+          row.Attribution.d_before;
+        Alcotest.(check int) "after" 70 row.Attribution.d_after;
+        Alcotest.(check int) "remark joined through the fused loc" 1
+          (List.length row.Attribution.d_remarks);
+        (* The CallSite row reports under its callee line. *)
+        let cs_primary = Attribution.line_of_loc cs in
+        Alcotest.(check bool) "callsite row present" true
+          (List.exists (fun d -> d.Attribution.d_line = cs_primary) ds);
+        (* Rows sort by delta ascending: line 9 lost all 60 of its own
+           cycles, the biggest saving, so it leads the report. *)
+        (match ds with
+        | first :: _ ->
+          Alcotest.(check string) "largest saving first" "k.mlir:9"
+            first.Attribution.d_line
+        | [] -> Alcotest.fail "empty delta"));
+    Alcotest.test_case "delta report: optimization shows on a remark line"
+      `Quick (fun () ->
+        Helpers.init ();
+        let ds, remarks = Annotate.delta_report (Polybench.gemm ~n:16) in
+        Alcotest.(check bool) "remarks collected" true (remarks <> []);
+        Alcotest.(check bool)
+          "some remark-bearing line saves cycles" true
+          (List.exists
+             (fun (d : Attribution.delta_row) ->
+               d.Attribution.d_remarks <> []
+               && d.Attribution.d_after - d.Attribution.d_before < 0)
+             ds));
+    Alcotest.test_case
+      "barrier kernel: conservation holds and charges a barrier op" `Quick
+      (fun () ->
+        (* The internalized GEMM executes cooperative prefetches with
+           work-group barriers — the barrier-round accounting must both
+           conserve and attribute to the barrier op itself. *)
+        Helpers.init ();
+        let w = Annotate.located_workload (Polybench.gemm ~n:16) in
+        let m = w.Common.w_module () in
+        ignore
+          (Sycl_core.Driver.compile
+             (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir) m);
+        let args, _ = w.Common.w_data () in
+        let r = H.run ~module_op:m args in
+        (match Annotate.check_conservation r with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "conservation violated: %s" msg);
+        let barriers_run =
+          List.fold_left (fun acc (_, s) -> acc + s.Sycl_sim.Cost.barriers) 0
+            r.H.per_kernel
+        in
+        Alcotest.(check bool) "kernel hit barriers" true (barriers_run > 0);
+        let tab = merged r in
+        let barrier_rows =
+          List.filter
+            (fun ((k : Attribution.key), (c : Attribution.counts)) ->
+              c.Attribution.c_barriers > 0
+              && (k.Attribution.k_op = "gpu.barrier"
+                 || k.Attribution.k_op = "sycl.group_barrier"))
+            (Attribution.rows tab)
+        in
+        Alcotest.(check bool) "barrier rounds attributed to barrier ops" true
+          (barrier_rows <> []));
+    Alcotest.test_case "fuzzed workload: conservation oracle" `Quick (fun () ->
+        Helpers.init ();
+        let rng = Random.State.make [| 7; 21 |] in
+        let w = Differential.random_workload rng in
+        match Differential.check_attribution w with
+        | Ok () -> ()
+        | Error f -> Alcotest.fail f.Difftest.f_detail);
+  ]
+
+let tests = ("attribution", tests_list)

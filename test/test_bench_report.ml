@@ -34,6 +34,9 @@ let entry ?(name = "w") ?(configs = []) () : BR.entry =
        else configs);
     e_speedup = 1.11;
     e_pass_stats = [ ("licm/licm.hoisted-pure", 3) ];
+    e_hotspots =
+      [ { BR.h_line = "w.sycl.mlir:17"; h_cycles = 400; h_share = 0.8 };
+        { BR.h_line = "w.sycl.mlir:12"; h_cycles = 100; h_share = 0.2 } ];
   }
 
 let service ?(hit_rate = 0.5) ?(cost_p99 = 4000) () : BR.service_metrics =
