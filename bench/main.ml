@@ -285,8 +285,11 @@ let run_fusion () =
     (d) sequential-vs-parallel run-digest determinism,
     (e) telemetry neutrality,
     (f) compile-service cache coherence (cold, coalesced and cached
-        compiles byte-identical to a direct pipeline run).
-    Oracles (b)–(f) run on workload modules every [--diff-every]
+        compiles byte-identical to a direct pipeline run),
+    (h) rewrite-driver equivalence (worklist vs. legacy bounded driver:
+        on modules where the legacy driver converges, byte-identical
+        canonicalized IR).
+    Oracles (b)–(h) run on workload modules every [--diff-every]
     iterations; oracle (a) runs on a fresh random module every
     iteration. *)
 let run_fuzz () =
@@ -367,7 +370,14 @@ let run_fuzz () =
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
       (* Oracle (g): attribution conservation — every launch's per-op
          attribution must decompose its launch statistics exactly. *)
-      match Differential.check_attribution w with
+      (match Differential.check_attribution w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+      (* Oracle (h): rewrite-driver equivalence — where the legacy
+         bounded driver converges, the worklist driver must reach the
+         same fixpoint, byte for byte. *)
+      match Differential.check_worklist_equivalence w with
       | Ok () -> ()
       | Error f ->
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail

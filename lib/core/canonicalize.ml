@@ -191,5 +191,8 @@ let pass =
                | "dce" -> "dead pure-op elimination"
                | name -> "pattern " ^ name))
       in
-      let n = Rewrite.apply_greedily ~on_rewrite m patterns in
-      Pass.Stats.bump ~by:n stats "rewrites")
+      let st = Rewrite.apply_greedily ~on_rewrite m patterns in
+      Pass.Stats.bump ~by:st.Rewrite.rw_rewrites stats "rewrites";
+      (* Compiler-speed counter: deterministic, gated by bench compare. *)
+      Pass.Stats.bump ~by:st.Rewrite.rw_ops_visited stats
+        "canonicalize.ops_visited")

@@ -54,6 +54,7 @@ let run_on_block stats (block : Core.block) =
   in
   List.iter
     (fun op ->
+      Pass.Stats.bump stats "store-forwarding.ops_visited";
       if Dialects.Memref.is_load op && op.Core.parent_block != None then begin
         Pass.Stats.bump stats "store-forwarding.loads-scanned";
         match forward op with

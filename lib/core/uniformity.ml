@@ -43,13 +43,25 @@ type t = {
   returns : (string, lattice list) Hashtbl.t;
   params : (string, lattice array) Hashtbl.t;
   rd : (int, Reaching_defs.t) Hashtbl.t;  (* func oid -> reaching defs *)
+  (* False when the fixpoint loop hit its iteration cap: stored lattices
+     may be stale under-approximations (a value could still rise to
+     Non_uniform), so queries must degrade to at least Unknown. *)
+  mutable converged : bool;
 }
 
-let value t (v : Core.value) =
+let converged t = t.converged
+
+let raw_value t (v : Core.value) =
   Option.value ~default:Uniform (Hashtbl.find_opt t.values v.Core.vid)
 
+(* On an unconverged analysis, claiming Uniform would be unsound — a
+   barrier placed on that claim can deadlock — so join with Unknown. *)
+let value t (v : Core.value) =
+  let l = raw_value t v in
+  if t.converged then l else join l Unknown
+
 let set_value t (v : Core.value) l changed =
-  let old = value t v in
+  let old = raw_value t v in
   let l = join old l in
   if l <> old then begin
     Hashtbl.replace t.values v.Core.vid l;
@@ -86,6 +98,7 @@ let analyze (m : Core.op) : t =
       returns = Hashtbl.create 16;
       params = Hashtbl.create 16;
       rd = Hashtbl.create 16;
+      converged = true;
     }
   in
   let funcs = Core.funcs m in
@@ -284,6 +297,19 @@ let analyze (m : Core.op) : t =
     incr iterations;
     List.iter eval_func funcs
   done;
+  (* Cap-hit: the last sweep still changed something. The seed silently
+     kept the stale (under-approximated) lattices — deep call chains
+     came out Uniform and a barrier could be placed inside a divergent
+     region. Record non-convergence so every query degrades to at least
+     Unknown, and say so out loud. *)
+  t.converged <- not !changed;
+  if not t.converged && Remarks.enabled () then
+    Remarks.emit ~pass:"uniformity" ~name:"convergence-cap" Remarks.Analysis
+      (Printf.sprintf
+         "fixpoint not reached after %d sweeps (call graph deeper than the \
+          cap); unconverged values are conservatively treated as unknown \
+          uniformity"
+         !iterations);
   t
 
 (** Is [op] inside a divergent region — an scf.if with a (possibly)

@@ -31,11 +31,18 @@ val is_kernel : Core.op -> bool
 
 type t
 
-(** Run the analysis over a module to a fixpoint. *)
+(** Run the analysis over a module to a fixpoint (or the sweep cap). *)
 val analyze : Core.op -> t
 
+(** Did {!analyze} reach a true fixpoint? When [false] (call graph
+    deeper than the sweep cap), stored lattices may be stale
+    under-approximations; {!value} then answers at least [Unknown] so a
+    stale [Uniform] can never license a barrier in a divergent region. *)
+val converged : t -> bool
+
 (** Uniformity of an SSA value (defaults to [Uniform] for unvisited
-    values, the lattice bottom). *)
+    values, the lattice bottom; never better than [Unknown] when the
+    analysis did not converge). *)
 val value : t -> Core.value -> lattice
 
 (** Conditions and loop bounds guarding the execution of an op, up to its

@@ -1,0 +1,28 @@
+(** Interned strings for the hot identifiers of the IR — op names,
+    attribute keys, printed type/attribute forms.
+
+    An atom is a small dense integer with O(1) equality. Interning is
+    thread-safe (mutex-protected table); [to_string] is lock-free and
+    safe from any domain, so frozen registries may index by atom id
+    concurrently. *)
+
+type t = int
+
+(** Intern [s], returning its atom. Idempotent; the first interning of a
+    string fixes its id for the process lifetime. *)
+val intern : string -> t
+
+(** The canonical string of an atom. Raises [Invalid_argument] for an id
+    never returned by {!intern}. *)
+val to_string : t -> string
+
+(** [canonical s] is the one shared string equal to [s] — comparing two
+    canonical strings hits the physical-equality fast path. *)
+val canonical : string -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Number of atoms interned so far (atom ids are [0 .. count () - 1]). *)
+val count : unit -> int

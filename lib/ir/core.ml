@@ -20,6 +20,9 @@ and vdef =
 and op = {
   oid : int;
   name : string;
+  (* Interned id of [name]; [name] itself is the canonical shared string
+     for that atom, so string equality on names is a pointer check. *)
+  name_id : Atom.t;
   mutable operands : value array;
   mutable results : value array;
   mutable attrs : (string * Attr.t) list;
@@ -56,6 +59,40 @@ let next_id =
   fun () -> Atomic.fetch_and_add counter 1 + 1
 
 (* ------------------------------------------------------------------ *)
+(* Mutation listeners                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A rewrite driver installs a listener to learn which ops a mutation may
+   have made rewritable again (MLIR's RewriterBase::Listener). The stack
+   is domain-local, like the remark sink: listeners installed on one
+   compile-service worker never observe another worker's mutations. *)
+type listener = {
+  (* An op (with everything nested in it) was attached to a block. *)
+  on_op_inserted : op -> unit;
+  (* [on_operand_replaced user old]: one of [user]'s operands changed
+     away from [old] (so [old]'s defining op may have become dead and
+     [user] may fold differently). *)
+  on_operand_replaced : op -> value -> unit;
+  (* Fires just before the op is detached, while its parent block and
+     operand use-lists are still intact. *)
+  on_op_erased : op -> unit;
+}
+
+let listeners_key : listener list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let notify_listeners f =
+  match Domain.DLS.get listeners_key with
+  | [] -> ()
+  | ls -> List.iter f ls
+
+(** Run [f] with [l] installed (stacked over any existing listeners). *)
+let with_listener l f =
+  let old = Domain.DLS.get listeners_key in
+  Domain.DLS.set listeners_key (l :: old);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set listeners_key old) f
+
+(* ------------------------------------------------------------------ *)
 (* Values                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -86,10 +123,12 @@ let remove_use v op idx =
     already-built (detached) regions whose parent is patched here. *)
 let create_op ?(attrs = []) ?(regions = []) ?(successors = [])
     ?(loc = Loc.Unknown) ~operands ~result_types name =
+  let name_id = Atom.intern name in
   let op =
     {
       oid = next_id ();
-      name;
+      name = Atom.to_string name_id;
+      name_id;
       operands = Array.of_list operands;
       results = [||];
       attrs;
@@ -192,13 +231,22 @@ let set_operand op i v =
   if not (value_equal old v) then begin
     remove_use old op i;
     op.operands.(i) <- v;
-    add_use v op i
+    add_use v op i;
+    notify_listeners (fun l -> l.on_operand_replaced op old)
   end
 
 let set_operands op vs =
-  Array.iteri (fun i old -> remove_use old op i) op.operands;
+  let olds = op.operands in
+  Array.iteri (fun i old -> remove_use old op i) olds;
   op.operands <- Array.of_list vs;
-  Array.iteri (fun i v -> add_use v op i) op.operands
+  Array.iteri (fun i v -> add_use v op i) op.operands;
+  Array.iteri
+    (fun i old ->
+      let changed =
+        i >= Array.length op.operands || not (value_equal op.operands.(i) old)
+      in
+      if changed then notify_listeners (fun l -> l.on_operand_replaced op old))
+    olds
 
 let replace_all_uses_with old_v new_v =
   (* Copy: set_operand mutates the use list we're iterating. *)
@@ -215,12 +263,14 @@ let replace_uses_if old_v new_v pred =
 let append_op block op =
   assert (op.parent_block = None);
   block.body <- block.body @ [ op ];
-  op.parent_block <- Some block
+  op.parent_block <- Some block;
+  notify_listeners (fun l -> l.on_op_inserted op)
 
 let prepend_op block op =
   assert (op.parent_block = None);
   block.body <- op :: block.body;
-  op.parent_block <- Some block
+  op.parent_block <- Some block;
+  notify_listeners (fun l -> l.on_op_inserted op)
 
 let insert_before ~anchor op =
   match anchor.parent_block with
@@ -233,7 +283,8 @@ let insert_before ~anchor op =
       | o :: rest -> o :: go rest
     in
     block.body <- go block.body;
-    op.parent_block <- Some block
+    op.parent_block <- Some block;
+    notify_listeners (fun l -> l.on_op_inserted op)
 
 let insert_after ~anchor op =
   match anchor.parent_block with
@@ -246,7 +297,8 @@ let insert_after ~anchor op =
       | o :: rest -> o :: go rest
     in
     block.body <- go block.body;
-    op.parent_block <- Some block
+    op.parent_block <- Some block;
+    notify_listeners (fun l -> l.on_op_inserted op)
 
 (** Detach [op] from its block without touching its operands' use lists. *)
 let detach_op op =
@@ -261,11 +313,14 @@ exception Has_uses of op
 (** Remove [op] entirely: drops operand uses; fails if results are used. *)
 let erase_op op =
   Array.iter (fun r -> if has_uses r then raise (Has_uses op)) op.results;
+  (* Notify while the parent block and operand uses are still in place. *)
+  notify_listeners (fun l -> l.on_op_erased op);
   detach_op op;
   Array.iteri (fun i v -> remove_use v op i) op.operands
 
 (** Erase without checking uses (for bulk deletion of whole regions). *)
 let erase_op_unsafe op =
+  notify_listeners (fun l -> l.on_op_erased op);
   detach_op op;
   Array.iteri (fun i v -> remove_use v op i) op.operands
 

@@ -83,11 +83,19 @@ let pure_info = { default_info with memory_effects = (fun _ -> Some []); specula
      domains are compiling. *)
 let table : (string, op_info) Hashtbl.t = Hashtbl.create 128
 let table_mutex = Mutex.create ()
-let frozen : (string, op_info) Hashtbl.t option Atomic.t = Atomic.make None
+
+(* The frozen snapshot carries both the name-keyed copy (for [lookup] by
+   arbitrary strings) and an atom-id-indexed array: [info] on the hot
+   path becomes a single array read off the op's interned [name_id],
+   with no hashing of the name at all. Atoms interned after the freeze
+   index past the array's end — correctly reading as unregistered. *)
+let frozen :
+    ((string, op_info) Hashtbl.t * op_info option array) option Atomic.t =
+  Atomic.make None
 
 let register name info =
   match Atomic.get frozen with
-  | Some snapshot ->
+  | Some (snapshot, _) ->
     if not (Hashtbl.mem snapshot name) then
       invalid_arg
         (Printf.sprintf
@@ -101,18 +109,40 @@ let register_pure name = register name pure_info
 (** Idempotent: the first call snapshots, later calls are no-ops. *)
 let freeze () =
   Mutex.protect table_mutex (fun () ->
-      if Atomic.get frozen = None then
-        Atomic.set frozen (Some (Hashtbl.copy table)))
+      if Atomic.get frozen = None then begin
+        let snapshot = Hashtbl.copy table in
+        let by_id =
+          Hashtbl.fold (fun name info acc -> (Atom.intern name, info) :: acc)
+            snapshot []
+        in
+        let size =
+          1 + List.fold_left (fun m (id, _) -> max m id) (-1) by_id
+        in
+        let arr = Array.make size None in
+        List.iter (fun (id, info) -> arr.(id) <- Some info) by_id;
+        Atomic.set frozen (Some (snapshot, arr))
+      end)
 
 let is_frozen () = Atomic.get frozen <> None
 
 let lookup name =
   match Atomic.get frozen with
-  | Some snapshot -> Hashtbl.find_opt snapshot name
+  | Some (snapshot, _) -> Hashtbl.find_opt snapshot name
   | None -> Hashtbl.find_opt table name
 
 let info op =
-  match lookup op.Core.name with Some i -> i | None -> default_info
+  match Atomic.get frozen with
+  | Some (_, arr) ->
+    let id = op.Core.name_id in
+    if id < Array.length arr then
+      match Array.unsafe_get arr id with
+      | Some i -> i
+      | None -> default_info
+    else default_info
+  | None -> (
+    match Hashtbl.find_opt table op.Core.name with
+    | Some i -> i
+    | None -> default_info)
 
 let is_registered name = lookup name <> None
 

@@ -85,17 +85,72 @@ let erase_if_dead (op : Core.op) : bool =
   end
   else false
 
-(** Apply [patterns] plus folding greedily until fixpoint (bounded). The
-    scope is [top] and everything nested in it. Returns the number of
-    rewrites performed. [on_rewrite] fires once per rewrite with the
-    enclosing function's symbol (captured before the rewrite, since the
-    op may be erased by it), the kind ("fold", "dce", or the pattern
-    name) and the rewritten op — callers use it for per-pattern
-    statistics and optimization remarks. *)
-let apply_greedily ?(max_iterations = 10)
-    ?(on_rewrite = fun ~func:(_ : string) (_ : string) (_ : Core.op) -> ())
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** What a driver run did. [rw_converged] is [false] only for the legacy
+    bounded driver, which can stop before fixpoint; the worklist driver
+    either converges or raises {!Cap_exceeded}. *)
+type stats = {
+  rw_rewrites : int;  (** rewrites performed (folds, DCE, patterns) *)
+  rw_ops_visited : int;  (** attached ops popped/examined by the driver *)
+  rw_converged : bool;  (** true when a real fixpoint was reached *)
+}
+
+exception Cap_exceeded of { scope : string; rewrites : int; cap : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cap_exceeded { scope; rewrites; cap } ->
+      Some
+        (Printf.sprintf
+           "Rewrite.Cap_exceeded: %d rewrites under %s exceeded the safety \
+            cap of %d — a pattern set that never reaches fixpoint (a \
+            rewrite loop), not a case for raising the bound silently"
+           rewrites scope cap)
+    | _ -> None)
+
+(* Shared single-op step: fold, then DCE, then each pattern in order.
+   Returns true when some rewrite fired. *)
+let visit_op ~on_rewrite ~count patterns op =
+  let func =
+    match Core.enclosing_func op with
+    | Some f -> Core.func_sym f
+    | None -> "?"
+  in
+  if try_fold op then begin
+    count ();
+    on_rewrite ~func "fold" op;
+    true
+  end
+  else if erase_if_dead op then begin
+    count ();
+    on_rewrite ~func "dce" op;
+    true
+  end
+  else
+    List.fold_left
+      (fun changed p ->
+        if op.Core.parent_block <> None && p.apply op then begin
+          count ();
+          on_rewrite ~func p.pat_name op;
+          true
+        end
+        else changed)
+      false patterns
+
+let no_rewrite = fun ~func:(_ : string) (_ : string) (_ : Core.op) -> ()
+
+(** The seed driver, kept for differential testing: re-walk the whole
+    scope until nothing changes or [max_iterations] sweeps have run. It
+    can stop {e before} fixpoint — silently — which is exactly the bug
+    the worklist driver fixes; [rw_converged] reports whether the last
+    sweep was quiescent. *)
+let apply_greedily_legacy ?(max_iterations = 10) ?(on_rewrite = no_rewrite)
     (top : Core.op) patterns =
   let total = ref 0 in
+  let visited = ref 0 in
   let changed = ref true in
   let iter = ref 0 in
   while !changed && !iter < max_iterations do
@@ -108,31 +163,112 @@ let apply_greedily ?(max_iterations = 10)
       (fun op ->
         (* Skip ops that a previous rewrite already detached. *)
         if op.Core.parent_block <> None then begin
-          let func =
-            match Core.enclosing_func op with
-            | Some f -> Core.func_sym f
-            | None -> "?"
+          incr visited;
+          let count () =
+            incr total;
+            changed := true
           in
-          if try_fold op then begin
-            changed := true;
-            incr total;
-            on_rewrite ~func "fold" op
-          end
-          else if erase_if_dead op then begin
-            changed := true;
-            incr total;
-            on_rewrite ~func "dce" op
-          end
-          else
-            List.iter
-              (fun p ->
-                if op.Core.parent_block <> None && p.apply op then begin
-                  changed := true;
-                  incr total;
-                  on_rewrite ~func p.pat_name op
-                end)
-              patterns
+          ignore (visit_op ~on_rewrite ~count patterns op)
         end)
       (List.rev !ops)
   done;
-  !total
+  { rw_rewrites = !total; rw_ops_visited = !visited; rw_converged = not !changed }
+
+(** Worklist driver: seed with every op in pre-order, then re-enqueue
+    only what a rewrite may have changed — the users of replaced values,
+    the defining ops of dropped operands (they may be dead now), the
+    parents of erased ops, and newly inserted ops. Runs to a true
+    fixpoint with cost proportional to rewrites performed; a scope that
+    keeps rewriting past [cap] raises {!Cap_exceeded} instead of
+    silently returning half-canonicalized IR. *)
+let apply_worklist ?cap ?(on_rewrite = no_rewrite) (top : Core.op) patterns =
+  let queue = Queue.create () in
+  let queued : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let enqueue op =
+    if (not (op == top)) && not (Hashtbl.mem queued op.Core.oid) then begin
+      Hashtbl.replace queued op.Core.oid ();
+      Queue.add op queue
+    end
+  in
+  Core.walk top ~f:enqueue;
+  let seeded = Queue.length queue in
+  (* Generous: proportional to the scope, never a fixed small constant.
+     Any real pattern set performs O(ops) rewrites; only a rewrite loop
+     (two patterns undoing each other, a fold that re-creates its input)
+     can reach this. *)
+  let cap = match cap with Some c -> c | None -> 1_000 + (100 * seeded) in
+  let enqueue_def v =
+    match Core.defining_op v with Some d -> enqueue d | None -> ()
+  in
+  let listener =
+    {
+      Core.on_op_inserted = (fun o -> Core.walk o ~f:enqueue);
+      on_operand_replaced =
+        (fun user old ->
+          (* The user may now fold; the old value's producer may be dead. *)
+          enqueue user;
+          enqueue_def old);
+      on_op_erased =
+        (fun o ->
+          (* The parent may simplify (e.g. an emptied region); operand
+             producers may have lost their last use. *)
+          (match Core.parent_op o with Some p -> enqueue p | None -> ());
+          Array.iter enqueue_def o.Core.operands);
+    }
+  in
+  let total = ref 0 in
+  let visited = ref 0 in
+  let scope =
+    match Core.enclosing_func top with
+    | Some f -> Core.func_sym f
+    | None -> top.Core.name
+  in
+  let count () =
+    incr total;
+    if !total > cap then
+      raise (Cap_exceeded { scope; rewrites = !total; cap })
+  in
+  Core.with_listener listener (fun () ->
+      while not (Queue.is_empty queue) do
+        let op = Queue.pop queue in
+        Hashtbl.remove queued op.Core.oid;
+        (* A queued op may have been erased or detached since. *)
+        if op.Core.parent_block <> None then begin
+          incr visited;
+          ignore (visit_op ~on_rewrite ~count patterns op)
+        end
+      done);
+  { rw_rewrites = !total; rw_ops_visited = !visited; rw_converged = true }
+
+(* ------------------------------------------------------------------ *)
+(* Driver selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type driver =
+  | Worklist
+  | Legacy
+
+let driver_of_string = function
+  | "worklist" -> Some Worklist
+  | "legacy" -> Some Legacy
+  | _ -> None
+
+let driver_to_string = function Worklist -> "worklist" | Legacy -> "legacy"
+
+(* Process-global so `sycl-mlir-opt --rewrite-driver legacy` can pin the
+   seed behaviour for before/after byte-identical comparisons. *)
+let default_driver : driver Atomic.t = Atomic.make Worklist
+
+let set_default_driver d = Atomic.set default_driver d
+let get_default_driver () = Atomic.get default_driver
+
+(** Apply [patterns] plus folding and dead-op erasure to fixpoint over
+    [top] and everything nested in it, with the process-default driver.
+    [on_rewrite] fires once per rewrite with the enclosing function's
+    symbol (captured before the rewrite, since the op may be erased by
+    it), the kind ("fold", "dce", or the pattern name) and the rewritten
+    op — callers use it for per-pattern statistics and remarks. *)
+let apply_greedily ?on_rewrite (top : Core.op) patterns =
+  match Atomic.get default_driver with
+  | Worklist -> apply_worklist ?on_rewrite top patterns
+  | Legacy -> apply_greedily_legacy ?on_rewrite top patterns

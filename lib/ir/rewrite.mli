@@ -30,14 +30,67 @@ val try_fold : Core.op -> bool
 (** Erase the op if it is pure (including nested ops) and unused. *)
 val erase_if_dead : Core.op -> bool
 
-(** Apply patterns plus folding and dead-op erasure greedily until a
-    fixpoint (bounded by [max_iterations]). Returns the number of
-    rewrites performed. [on_rewrite] fires once per rewrite with the
-    enclosing function's symbol (captured before the rewrite), the kind
-    ("fold", "dce", or the pattern name) and the rewritten op. *)
-val apply_greedily :
+(** {2 Drivers} *)
+
+(** What a driver run did. [rw_converged] is [false] only for the legacy
+    bounded driver, which can stop before fixpoint; the worklist driver
+    either converges or raises {!Cap_exceeded}. *)
+type stats = {
+  rw_rewrites : int;  (** rewrites performed (folds, DCE, patterns) *)
+  rw_ops_visited : int;  (** attached ops examined by the driver *)
+  rw_converged : bool;  (** true when a real fixpoint was reached *)
+}
+
+(** Raised by the worklist driver when more than [cap] rewrites fire in
+    one scope — a pattern set that never reaches fixpoint. Loud on
+    purpose: the legacy driver's silent stop is the bug this replaces. *)
+exception Cap_exceeded of { scope : string; rewrites : int; cap : int }
+
+(** Worklist driver: seed with every op, re-enqueue only the users of
+    replaced values, the defining ops of dropped operands, the parents
+    of erased ops, and newly inserted ops. Runs to a true fixpoint with
+    cost proportional to rewrites performed. [cap] bounds the number of
+    rewrites (default: generous, proportional to the scope size);
+    exceeding it raises {!Cap_exceeded}. *)
+val apply_worklist :
+  ?cap:int ->
+  ?on_rewrite:(func:string -> string -> Core.op -> unit) ->
+  Core.op ->
+  pattern list ->
+  stats
+
+(** The seed driver, kept for differential testing ({e fuzz oracle (h)})
+    and the [--rewrite-driver legacy] flag: re-walks the whole scope up
+    to [max_iterations] times and can stop silently before fixpoint
+    ([rw_converged = false]). *)
+val apply_greedily_legacy :
   ?max_iterations:int ->
   ?on_rewrite:(func:string -> string -> Core.op -> unit) ->
   Core.op ->
   pattern list ->
-  int
+  stats
+
+(** {2 Driver selection} *)
+
+type driver =
+  | Worklist  (** the default: use-def-driven, true fixpoint *)
+  | Legacy  (** bounded re-walk, seed behaviour *)
+
+val driver_of_string : string -> driver option
+val driver_to_string : driver -> string
+
+(** Process-global default used by {!apply_greedily} (set from
+    [sycl-mlir-opt --rewrite-driver]). Initially [Worklist]. *)
+val set_default_driver : driver -> unit
+
+val get_default_driver : unit -> driver
+
+(** Apply patterns plus folding and dead-op erasure to fixpoint with the
+    process-default driver. [on_rewrite] fires once per rewrite with the
+    enclosing function's symbol (captured before the rewrite), the kind
+    ("fold", "dce", or the pattern name) and the rewritten op. *)
+val apply_greedily :
+  ?on_rewrite:(func:string -> string -> Core.op -> unit) ->
+  Core.op ->
+  pattern list ->
+  stats

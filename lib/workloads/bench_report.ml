@@ -23,8 +23,16 @@ module Service = Sycl_service.Service
    v4: every workload carries a "hotspots" section — the top-3 source
    lines by attributed device cycles from a located SYCL-MLIR run — so a
    cycle regression flagged by [compare_reports] names the line that now
-   dominates. Informational context, not a separate gate. *)
-let schema_version = 4
+   dominates. Informational context, not a separate gate.
+   v5: every workload carries a "compile" section of deterministic
+   compiler-speed counters — ops visited per pass (the rewrite drivers,
+   CSE and store-forwarding count every op they examine), rewrites per
+   pass, and parser ops/chars processed — gated by [compare_reports]
+   exactly like cycle regressions, so a pass that quietly returns to
+   rescanning the module fails CI. Compile wall time lives in the
+   entry's "measured" subobject: machine-dependent, informational,
+   excluded from determinism diffs and never gated. *)
+let schema_version = 5
 
 (** One hotspot line of a workload's located SYCL-MLIR run. *)
 type hotspot = {
@@ -50,6 +58,17 @@ type config_metrics = {
   cm_launch_p99 : int;
 }
 
+(** The v5 "compile" section: deterministic compiler-speed counters for
+    the SYCL-MLIR configuration, plus measured (non-gated) wall time. *)
+type compile_metrics = {
+  co_parse_ops : int;  (** ops materialized by parsing the printed module *)
+  co_parse_chars : int;  (** characters of IR text the parser processed *)
+  co_ops_visited : (string * int) list;
+      (** pass name -> ops examined, from the merged pipeline stats *)
+  co_rewrites : (string * int) list;  (** pass name -> rewrites performed *)
+  co_wall_us : int;  (** measured: parse + full pipeline wall time *)
+}
+
 type entry = {
   e_name : string;
   e_category : string;
@@ -62,6 +81,7 @@ type entry = {
       (** merged compile-time statistics of the SYCL-MLIR pipeline *)
   e_hotspots : hotspot list;
       (** top-3 source lines by attributed device cycles (v4) *)
+  e_compile : compile_metrics;  (** compiler-speed counters (v5) *)
 }
 
 (* The v3 "service" section: one two-round compile-service sweep of the
@@ -143,6 +163,50 @@ let top_hotspots ?(n = 3) (w : Common.workload) : hotspot list =
                 /. float_of_int total);
          })
 
+(* "pass/stat" -> (pass, stat); merged stats always carry the slash. *)
+let split_stat key =
+  match String.index_opt key '/' with
+  | Some i ->
+    (String.sub key 0 i, String.sub key (i + 1) (String.length key - i - 1))
+  | None -> ("", key)
+
+(** Pull the per-pass value of [stat] out of merged "pass/stat" pairs.
+    Sorted by pass name (the stats list is already key-sorted, but be
+    explicit — this ordering is what the determinism diff compares). *)
+let per_pass_stat (pass_stats : (string * int) list) ~stat =
+  List.filter_map
+    (fun (k, v) ->
+      let pass, s = split_stat k in
+      if s = stat || s = pass ^ "." ^ stat then Some (pass, v) else None)
+    pass_stats
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Compiler-speed counters for one workload: print the module, parse it
+    back (counting ops and characters), run the full SYCL-MLIR pipeline
+    once under the clock for the measured wall time, and pull the
+    deterministic ops-visited / rewrites counters from the measured
+    run's merged stats. *)
+let compile_of_comparison (c : Common.comparison) : compile_metrics =
+  let w = c.Common.c_workload in
+  let pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats in
+  let text = Mlir.Printer.to_string (w.Common.w_module ()) in
+  let t0 = Unix.gettimeofday () in
+  let parsed = Parser.parse_module ~file:(w.Common.w_name ^ ".mlir") text in
+  let cfg = Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir in
+  ignore (Sycl_core.Driver.compile cfg parsed);
+  let wall_us =
+    max 1 (int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1e6)))
+  in
+  let parse_ops = ref 0 in
+  Core.walk parsed ~f:(fun _ -> incr parse_ops);
+  {
+    co_parse_ops = !parse_ops;
+    co_parse_chars = String.length text;
+    co_ops_visited = per_pass_stat pass_stats ~stat:"ops_visited";
+    co_rewrites = per_pass_stat pass_stats ~stat:"rewrites";
+    co_wall_us = wall_us;
+  }
+
 let entry_of_comparison (c : Common.comparison) : entry =
   let w = c.Common.c_workload in
   {
@@ -159,6 +223,7 @@ let entry_of_comparison (c : Common.comparison) : entry =
     e_speedup = Common.speedup c.Common.c_base c.Common.c_sycl_mlir;
     e_pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats;
     e_hotspots = top_hotspots w;
+    e_compile = compile_of_comparison c;
   }
 
 (* Sweep every workload module through the compile service twice: round
@@ -259,6 +324,21 @@ let hotspot_to_json (h : hotspot) : Json.t =
       ("cycles", Json.Int h.h_cycles);
       ("share", Json.Float h.h_share) ]
 
+(* Like the service section, the entry's machine-dependent wall time is
+   isolated under "measured" so the CI determinism diff can drop exactly
+   that subtree; everything else in "compile" is deterministic and
+   gated. *)
+let compile_to_json (c : compile_metrics) : Json.t =
+  let counts kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+  Json.Obj
+    [ ( "parse",
+        Json.Obj
+          [ ("ops", Json.Int c.co_parse_ops);
+            ("chars", Json.Int c.co_parse_chars) ] );
+      ("ops_visited", counts c.co_ops_visited);
+      ("rewrites", counts c.co_rewrites);
+      ("measured", Json.Obj [ ("wall_us", Json.Int c.co_wall_us) ]) ]
+
 let entry_to_json (e : entry) : Json.t =
   Json.Obj
     [ ("name", Json.String e.e_name);
@@ -269,7 +349,8 @@ let entry_to_json (e : entry) : Json.t =
       ("speedup_sycl_mlir", Json.Float e.e_speedup);
       ( "pass_stats",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) );
-      ("hotspots", Json.List (List.map hotspot_to_json e.e_hotspots)) ]
+      ("hotspots", Json.List (List.map hotspot_to_json e.e_hotspots));
+      ("compile", compile_to_json e.e_compile) ]
 
 (* The "measured" subobject isolates every machine-dependent field; CI's
    determinism comparison drops exactly that subtree and compares the
@@ -367,6 +448,28 @@ let entry_of_json (j : Json.t) : entry =
             })
           items
       | _ -> fail "missing or ill-typed field %S" "hotspots");
+    e_compile =
+      (let cj = req "compile" (Json.member "compile" j) in
+       let pj = req "parse" (Json.member "parse" cj) in
+       let counts name =
+         match Json.member name cj with
+         | Some (Json.Obj kvs) ->
+           List.map
+             (fun (k, v) ->
+               match Json.as_int v with
+               | Some n -> (k, n)
+               | None -> fail "compile.%s value for %S is not an integer" name k)
+             kvs
+         | _ -> fail "missing or ill-typed field %S" ("compile." ^ name)
+       in
+       let measured = req "measured" (Json.member "measured" cj) in
+       {
+         co_parse_ops = get_int pj "ops";
+         co_parse_chars = get_int pj "chars";
+         co_ops_visited = counts "ops_visited";
+         co_rewrites = counts "rewrites";
+         co_wall_us = get_int measured "wall_us";
+       });
   }
 
 let get_float j name =
@@ -419,6 +522,9 @@ type issue_kind =
   | Compile_latency_regression
       (** a compile-service cost-unit percentile grew past tolerance *)
   | Hit_rate_regression  (** the service cache hit rate dropped past tolerance *)
+  | Compiler_speed_regression
+      (** a deterministic compiler-speed counter (ops visited, rewrites,
+          parser ops/chars) grew past tolerance (v5) *)
 
 type issue = {
   i_kind : issue_kind;
@@ -503,7 +609,48 @@ let compare_reports ?(tolerance = 0.05) ~(baseline : report)
                   { i_kind = Validity_regression; i_workload = old_e.e_name;
                     i_config = cfg;
                     i_detail = "result validated in the baseline but no longer does" })
-          old_e.e_configs)
+          old_e.e_configs;
+        (* v5 compiler-speed gate: the deterministic counters obey the
+           same growth budget as cycles. Wall time ("measured") is
+           deliberately not inspected here. A pass present in the
+           baseline but absent from the new report was removed from the
+           pipeline — not a regression. *)
+        let gate_speed what old_v new_v =
+          let budget =
+            int_of_float
+              (Float.round (float_of_int old_v *. (1.0 +. tolerance)))
+          in
+          if new_v > budget then
+            add
+              { i_kind = Compiler_speed_regression; i_workload = old_e.e_name;
+                i_config = "sycl-mlir";
+                i_detail =
+                  Printf.sprintf
+                    "%s regressed %d -> %d (+%.1f%%, tolerance %.1f%%)"
+                    what old_v new_v
+                    (100.0
+                    *. (float_of_int new_v /. float_of_int (max 1 old_v)
+                       -. 1.0))
+                    (100.0 *. tolerance) }
+        in
+        let c_old = old_e.e_compile and c_new = new_e.e_compile in
+        gate_speed "parser ops processed" c_old.co_parse_ops
+          c_new.co_parse_ops;
+        gate_speed "parser chars processed" c_old.co_parse_chars
+          c_new.co_parse_chars;
+        List.iter
+          (fun (pass, old_v) ->
+            match List.assoc_opt pass c_new.co_ops_visited with
+            | Some new_v ->
+              gate_speed (pass ^ " ops visited") old_v new_v
+            | None -> ())
+          c_old.co_ops_visited;
+        List.iter
+          (fun (pass, old_v) ->
+            match List.assoc_opt pass c_new.co_rewrites with
+            | Some new_v -> gate_speed (pass ^ " rewrites") old_v new_v
+            | None -> ())
+          c_old.co_rewrites)
     baseline.r_entries;
   (* Report-level compile-service gates: the deterministic cost-unit
      percentiles obey the same growth budget as cycles; the hit rate may

@@ -28,6 +28,18 @@ type hotspot = {
   h_share : float;
 }
 
+(** The v5 per-workload "compile" section: deterministic compiler-speed
+    counters for the SYCL-MLIR configuration — gated by
+    {!compare_reports} like cycles — plus the measured (never gated)
+    parse + pipeline wall time. *)
+type compile_metrics = {
+  co_parse_ops : int;  (** ops materialized by parsing the printed module *)
+  co_parse_chars : int;  (** characters of IR text the parser processed *)
+  co_ops_visited : (string * int) list;  (** pass name -> ops examined *)
+  co_rewrites : (string * int) list;  (** pass name -> rewrites performed *)
+  co_wall_us : int;  (** measured; excluded from determinism diffs *)
+}
+
 type entry = {
   e_name : string;
   e_category : string;
@@ -37,6 +49,7 @@ type entry = {
   e_pass_stats : (string * int) list;
   e_hotspots : hotspot list;
       (** top-3 source lines by attributed device cycles *)
+  e_compile : compile_metrics;  (** compiler-speed counters (v5) *)
 }
 
 (** The v3 report-level "service" section: counters and cost-unit
@@ -96,6 +109,9 @@ type issue_kind =
   | Compile_latency_regression
       (** a compile-service cost-unit percentile grew past tolerance *)
   | Hit_rate_regression  (** the service cache hit rate dropped past tolerance *)
+  | Compiler_speed_regression
+      (** a deterministic compiler-speed counter (ops visited, rewrites,
+          parser ops/chars) grew past tolerance (v5) *)
 
 type issue = {
   i_kind : issue_kind;

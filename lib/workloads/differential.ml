@@ -374,6 +374,48 @@ let check_service_cache (w : Common.workload) :
       else Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Oracle (h): worklist / legacy rewrite-driver equivalence            *)
+(* ------------------------------------------------------------------ *)
+
+(** The worklist driver replaced the legacy bounded re-walk driver; on
+    any module shallow enough for the legacy driver to actually converge
+    (its silent [max_iterations] cutoff not hit), both must reach the
+    same fixpoint — byte-identical printed IR under the canonicalize
+    pattern set. Modules where the legacy driver gives up early are
+    skipped: there the two drivers legitimately differ (that divergence
+    is the bug the worklist driver fixes, covered by the deep-chain
+    regression test). *)
+let check_worklist_equivalence (w : Common.workload) :
+    (unit, Difftest.failure) result =
+  let name = w.Common.w_name in
+  let fail detail ir =
+    Error
+      { Difftest.f_oracle = "worklist-equivalence";
+        f_detail = name ^ ": " ^ detail; f_ir = ir }
+  in
+  match
+    let text = Printer.to_string (w.Common.w_module ()) in
+    let patterns = Sycl_core.Canonicalize.patterns in
+    let legacy_m = Parser.parse_module text in
+    let legacy_st = Rewrite.apply_greedily_legacy legacy_m patterns in
+    let worklist_m = Parser.parse_module text in
+    let worklist_st = Rewrite.apply_worklist worklist_m patterns in
+    ( legacy_st, Printer.to_string legacy_m,
+      worklist_st, Printer.to_string worklist_m )
+  with
+  | exception e -> fail (Printf.sprintf "raised %s" (Printexc.to_string e)) None
+  | legacy_st, legacy_ir, worklist_st, worklist_ir ->
+    if not legacy_st.Rewrite.rw_converged then
+      (* Too deep for the bounded driver — no converged reference. *)
+      Ok ()
+    else if not worklist_st.Rewrite.rw_converged then
+      fail "worklist driver reported non-convergence" (Some worklist_ir)
+    else if legacy_ir <> worklist_ir then
+      fail "worklist fixpoint diverges from the converged legacy fixpoint"
+        (Some worklist_ir)
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Randomized workload selection for the fuzz loop                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -23,7 +23,17 @@ let metrics ?(cycles = 1000) ?(valid = true) ?(p99 = 800) () :
     cm_launch_p99 = p99;
   }
 
-let entry ?(name = "w") ?(configs = []) () : BR.entry =
+let compile ?(ops_visited = 400) ?(rewrites = 20) ?(parse_ops = 120) () :
+    BR.compile_metrics =
+  {
+    BR.co_parse_ops = parse_ops;
+    co_parse_chars = parse_ops * 40;
+    co_ops_visited = [ ("canonicalize", ops_visited); ("cse", 150) ];
+    co_rewrites = [ ("canonicalize", rewrites) ];
+    co_wall_us = 777;
+  }
+
+let entry ?(name = "w") ?(configs = []) ?(compile = compile ()) () : BR.entry =
   {
     BR.e_name = name;
     e_category = "single-kernel";
@@ -37,6 +47,7 @@ let entry ?(name = "w") ?(configs = []) () : BR.entry =
     e_hotspots =
       [ { BR.h_line = "w.sycl.mlir:17"; h_cycles = 400; h_share = 0.8 };
         { BR.h_line = "w.sycl.mlir:12"; h_cycles = 100; h_share = 0.2 } ];
+    e_compile = compile;
   }
 
 let service ?(hit_rate = 0.5) ?(cost_p99 = 4000) () : BR.service_metrics =
@@ -197,6 +208,54 @@ let tests_list =
         Alcotest.(check bool) "hit-rate issue" true
           (List.mem BR.Hit_rate_regression
              (kinds (BR.compare_reports ~baseline:base worse))));
+    Alcotest.test_case "compiler-speed regression fails the gate (v5)" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        (* Baseline canonicalize ops_visited is 400; 5% budget = 420. *)
+        let at n =
+          report ~label:"new"
+            [ entry ~name:"w" ~compile:(compile ~ops_visited:n ()) () ]
+        in
+        Alcotest.(check int) "at budget passes" 0
+          (List.length (BR.compare_reports ~baseline:base (at 420)));
+        let issues = BR.compare_reports ~baseline:base (at 421) in
+        Alcotest.(check bool) "compiler-speed issue" true
+          (List.mem BR.Compiler_speed_regression (kinds issues));
+        Alcotest.(check bool) "nothing else" true
+          (List.for_all (fun k -> k = BR.Compiler_speed_regression)
+             (kinds issues)));
+    Alcotest.test_case "parser counters are gated, wall time is not" `Quick
+      (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        (* Wall time is "measured": a 100x change must not flag. *)
+        let slow =
+          report ~label:"new"
+            [ entry ~name:"w"
+                ~compile:{ (compile ()) with BR.co_wall_us = 77_700 }
+                () ]
+        in
+        Alcotest.(check int) "wall time not gated" 0
+          (List.length (BR.compare_reports ~baseline:base slow));
+        let more_parse =
+          report ~label:"new"
+            [ entry ~name:"w" ~compile:(compile ~parse_ops:200 ()) () ]
+        in
+        Alcotest.(check bool) "parse ops gated" true
+          (List.mem BR.Compiler_speed_regression
+             (kinds (BR.compare_reports ~baseline:base more_parse)));
+        (* A pass removed from the pipeline is not a regression. *)
+        let removed =
+          report ~label:"new"
+            [ entry ~name:"w"
+                ~compile:
+                  { (compile ()) with
+                    BR.co_ops_visited = [ ("cse", 150) ];
+                    co_rewrites = [];
+                  }
+                () ]
+        in
+        Alcotest.(check int) "removed pass is fine" 0
+          (List.length (BR.compare_reports ~baseline:base removed)));
     Alcotest.test_case "measured snapshot round-trips and self-compares clean"
       `Slow (fun () ->
         Helpers.init ();

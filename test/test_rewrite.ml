@@ -11,6 +11,15 @@ let run_pass pass m =
   pass.Pass.run m stats;
   stats
 
+(* A function whose body is a [depth]-deep chain of dead addi ops rooted
+   at the argument: the tip is unused, so greedy DCE must cascade from
+   the tip back — one op per re-walk sweep under the legacy driver. *)
+let dead_chain_module depth =
+  Helpers.with_func ~args:[ Types.i64 ] (fun b vals ->
+      let x = List.hd vals in
+      let rec grow v n = if n = 0 then () else grow (A.addi b v x) (n - 1) in
+      grow x depth)
+
 let tests_list =
   [
     Alcotest.test_case "constants fold through arithmetic chains" `Quick (fun () ->
@@ -196,6 +205,142 @@ let tests_list =
         check_bool "returns 64.0" true
           (Core.attr (Option.get (Core.defining_op (Core.operand ret 0))) "value"
           = Some (Attr.Float 64.0)));
+    (* --- Worklist driver: the silent max_iterations=10 cutoff bug. ----- *)
+    Alcotest.test_case "legacy driver silently stops before fixpoint on deep dead chains"
+      `Quick (fun () ->
+        (* A 40-deep dead addi chain: each sweep of the bounded re-walk
+           driver erases only the unused tip, so 10 iterations leave 30
+           dead ops behind — the seed bug. *)
+        let m, f = dead_chain_module 40 in
+        let st = Rewrite.apply_greedily_legacy m Sycl_core.Canonicalize.patterns in
+        check_bool "legacy stopped before fixpoint" false st.Rewrite.rw_converged;
+        check_int "one dead op erased per sweep" 10 st.Rewrite.rw_rewrites;
+        check_int "dead ops left behind" 30 (Helpers.count_ops f "arith.addi"));
+    Alcotest.test_case "worklist driver fully folds chains deeper than the old bound"
+      `Quick (fun () ->
+        let m, f = dead_chain_module 40 in
+        let legacy_visits =
+          let ml, _ = dead_chain_module 40 in
+          (Rewrite.apply_greedily_legacy ml Sycl_core.Canonicalize.patterns)
+            .Rewrite.rw_ops_visited
+        in
+        let st = Rewrite.apply_worklist m Sycl_core.Canonicalize.patterns in
+        check_bool "true fixpoint" true st.Rewrite.rw_converged;
+        check_int "whole chain erased" 40 st.Rewrite.rw_rewrites;
+        check_int "no dead ops left" 0 (Helpers.count_ops f "arith.addi");
+        (* Cost proportional to rewrites, not iterations x module size:
+           on the chain that exposes the bug the worklist visits >= 3x
+           fewer ops than the legacy re-walk. *)
+        check_bool
+          (Printf.sprintf ">=3x fewer visits (legacy %d, worklist %d)"
+             legacy_visits st.Rewrite.rw_ops_visited)
+          true
+          (legacy_visits >= 3 * st.Rewrite.rw_ops_visited));
+    Alcotest.test_case "canonicalize pass reaches fixpoint via the default driver"
+      `Quick (fun () ->
+        let m, f = dead_chain_module 40 in
+        let stats = run_pass Sycl_core.Canonicalize.pass m in
+        check_int "no dead ops left" 0 (Helpers.count_ops f "arith.addi");
+        check_int "rewrites counted" 40 (Pass.Stats.get stats "rewrites");
+        check_bool "ops-visited counter populated" true
+          (Pass.Stats.get stats "canonicalize.ops_visited" > 0));
+    Alcotest.test_case "worklist cap raises a loud diagnostic instead of stopping"
+      `Quick (fun () ->
+        let m, _f = dead_chain_module 12 in
+        match Rewrite.apply_worklist ~cap:3 m Sycl_core.Canonicalize.patterns with
+        | _ -> Alcotest.fail "expected Cap_exceeded"
+        | exception Rewrite.Cap_exceeded { scope; rewrites; cap } ->
+          check_int "cap echoed" 3 cap;
+          check_bool "rewrite count past the cap" true (rewrites > cap);
+          check_bool "scope names the rewritten region" true
+            (scope = "builtin.module"));
+    Alcotest.test_case "GEMM pipeline: worklist visits fewer ops, byte-identical result"
+      `Quick (fun () ->
+        (* Full sycl-mlir pipeline on the GEMM workload under both
+           drivers: same final module byte-for-byte, strictly fewer
+           canonicalize visits from the worklist (the gated bench
+           counter). *)
+        let w = Sycl_workloads.Polybench.gemm ~n:8 in
+        let compile_with driver =
+          let saved = Rewrite.get_default_driver () in
+          Rewrite.set_default_driver driver;
+          Fun.protect
+            ~finally:(fun () -> Rewrite.set_default_driver saved)
+            (fun () ->
+              let m = w.Sycl_workloads.Common.w_module () in
+              let cfg = Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir in
+              let r = Sycl_core.Driver.compile cfg m in
+              let stats = Pass.merged_stats r.Sycl_core.Driver.pipeline_result in
+              ( Pass.Stats.get stats "canonicalize/canonicalize.ops_visited",
+                Pass.Stats.get stats "canonicalize/rewrites",
+                Printer.to_string r.Sycl_core.Driver.joint ))
+        in
+        let l_visits, l_rewrites, l_ir = compile_with Rewrite.Legacy in
+        let w_visits, w_rewrites, w_ir = compile_with Rewrite.Worklist in
+        check_int "same rewrites under both drivers" l_rewrites w_rewrites;
+        check_bool
+          (Printf.sprintf "worklist visits fewer ops (legacy %d, worklist %d)"
+             l_visits w_visits)
+          true (w_visits < l_visits);
+        check_bool "byte-identical compiled module" true (l_ir = w_ir));
+    Alcotest.test_case "driver flag round-trips and defaults to worklist" `Quick
+      (fun () ->
+        check_bool "default" true (Rewrite.get_default_driver () = Rewrite.Worklist);
+        check_bool "worklist parses" true
+          (Rewrite.driver_of_string "worklist" = Some Rewrite.Worklist);
+        check_bool "legacy parses" true
+          (Rewrite.driver_of_string "legacy" = Some Rewrite.Legacy);
+        check_bool "unknown rejected" true (Rewrite.driver_of_string "bogus" = None));
+    (* --- CSE structural key: interned, printer-consistent attributes. --- *)
+    Alcotest.test_case "CSE keeps 0.0 and -0.0 constants distinct" `Quick (fun () ->
+        (* Polymorphic compare says 0.0 = -0.0, so the seed key merged
+           them — miscompiling e.g. 1.0 /. x. The interned key uses the
+           printed form, which distinguishes the sign. *)
+        let m, f =
+          Helpers.with_func ~results:[ Types.f32 ] (fun b _ ->
+              let pz = A.const_float b 0.0 in
+              let nz = A.const_float b (-0.0) in
+              Dialects.Func.return b [ A.addf b pz nz ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        check_int "both zero constants kept" 2 (Helpers.count_ops f "arith.constant");
+        (* Round-trip through the printer: the parsed module keys the
+           same way. *)
+        let m' = Parser.parse_module (Printer.to_string m) in
+        ignore (run_pass Sycl_core.Cse.pass m');
+        check_int "still distinct after round-trip" 2
+          (Helpers.count_ops m' "arith.constant"));
+    Alcotest.test_case "CSE keys nan constants consistently with the printer" `Quick
+      (fun () ->
+        (* Distinct nan payloads print identically ("nan"), so they key
+           identically — exactly what a printer round-trip produces. *)
+        let nan_a = Int64.float_of_bits 0x7FF8000000000000L in
+        let nan_b = Int64.float_of_bits 0x7FF8000000000001L in
+        let m, f =
+          Helpers.with_func ~results:[ Types.f32 ] (fun b _ ->
+              let x = A.const_float b nan_a in
+              let y = A.const_float b nan_b in
+              Dialects.Func.return b [ A.addf b x y ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        check_int "identically printed nans merged" 1
+          (Helpers.count_ops f "arith.constant");
+        let m' = Parser.parse_module (Printer.to_string m) in
+        ignore (run_pass Sycl_core.Cse.pass m');
+        check_int "round-trip agrees" 1 (Helpers.count_ops m' "arith.constant"));
+    Alcotest.test_case "CSE still distinguishes same value at different types" `Quick
+      (fun () ->
+        let m, f =
+          Helpers.with_func ~results:[ Types.i64 ] (fun b _ ->
+              let a = A.const_int b 7 in
+              let c = A.const_int b ~ty:Types.i32 7 in
+              ignore c;
+              Dialects.Func.return b [ a ])
+        in
+        ignore (run_pass Sycl_core.Cse.pass m);
+        (* i32 7 is unused but CSE does not DCE; both remain. *)
+        check_int "types keep constants apart" 2
+          (Helpers.count_ops f "arith.constant"));
   ]
 
 let tests = ("rewrite", tests_list)

@@ -11,6 +11,41 @@ module S = Sycl_core.Sycl_types
 
 let lat = Alcotest.testable (Fmt.of_to_string U.lattice_to_string) ( = )
 
+(* A kernel calling f1 with its (non-uniform) global id, and a chain
+   f1 -> f2 -> ... -> f[depth] each forwarding its parameter. Functions
+   are defined callee-first, so each inter-procedural sweep advances the
+   non-uniform fact exactly one call level. *)
+let call_chain_module depth =
+  let m = Helpers.fresh_module () in
+  for i = depth downto 1 do
+    ignore
+      (Dialects.Func.func m
+         (Printf.sprintf "f%d" i)
+         ~args:[ Types.Index ] ~results:[ Types.Index ]
+         (fun b vals ->
+           let x = List.hd vals in
+           let r =
+             if i = depth then x
+             else
+               Dialects.Func.call1 b
+                 (Printf.sprintf "f%d" (i + 1))
+                 ~operands:[ x ] ~result:Types.Index
+           in
+           Dialects.Func.return b [ r ]))
+  done;
+  ignore
+    (Sycl_frontend.Kernel.define m ~name:"k" ~dims:1 ~args:[]
+       (fun b ~item ~args:_ ->
+         let g = K.gid b item 0 in
+         ignore (Dialects.Func.call1 b "f1" ~operands:[ g ] ~result:Types.Index)));
+  m
+
+(* The deepest function's returned value (its forwarded parameter). *)
+let chain_tip_value m depth =
+  let f = Option.get (Core.lookup_func m (Printf.sprintf "f%d" depth)) in
+  let ret = List.hd (Core.collect_named f "func.return") in
+  Core.operand ret 0
+
 let tests_list =
   [
     Alcotest.test_case "global id is non-uniform; group id and ranges uniform" `Quick
@@ -187,6 +222,29 @@ let tests_list =
         let k = Option.get (Core.lookup_func m "k") in
         let call = List.hd (Core.collect_named k "func.call") in
         Alcotest.check lat "unknown" U.Unknown (U.value t (Core.result call 0)));
+    Alcotest.test_case "deep call chains within the sweep budget converge" `Quick
+      (fun () ->
+        let m = call_chain_module 5 in
+        let t = U.analyze m in
+        Alcotest.(check bool) "converged" true (U.converged t);
+        Alcotest.check lat "deepest callee sees the non-uniform arg" U.Non_uniform
+          (U.value t (chain_tip_value m 5)));
+    Alcotest.test_case "call chains past the sweep cap degrade soundly, not silently"
+      `Quick (fun () ->
+        (* 36 callee-first functions: each fixpoint sweep advances the
+           kernel's non-uniform argument exactly one call level, so the
+           32-sweep budget runs out before the tip. The seed left the
+           deep parameters at their stale Uniform initialization — a
+           miscompile if a client uses the result to, e.g., hoist a
+           barrier. Now the analysis reports non-convergence and refuses
+           to claim Uniform for anything. *)
+        let depth = 36 in
+        let m = call_chain_module depth in
+        let t = U.analyze m in
+        Alcotest.(check bool) "not converged" false (U.converged t);
+        Alcotest.check lat "deep value degrades to Unknown, never stale Uniform"
+          U.Unknown
+          (U.value t (chain_tip_value m depth)));
   ]
 
 let tests = ("uniformity", tests_list)
