@@ -25,6 +25,8 @@
                            worker domains (default: recommended count)
      --sim-check-races   — detect work-groups writing overlapping global
                            locations (exit 1 with a report)
+     --cache-model M     — simulate a per-core data cache (flat|dm|assoc;
+                           default flat = no cache, byte-identical output)
 
    Absolute paper numbers came from an Intel Data Center GPU Max 1100;
    ours come from the transaction-level simulator — only the shape of the
@@ -51,6 +53,13 @@ let filtered_args =
       go acc rest
     | "--sim-check-races" :: rest ->
       Sycl_sim.Interp.set_default_check_races true;
+      go acc rest
+    | "--cache-model" :: v :: rest ->
+      (match Sycl_sim.Cost.model_of_string v with
+      | Some m -> Sycl_sim.Interp.set_default_cache_model m
+      | None ->
+        Printf.eprintf "bad --cache-model %s (want flat|dm|assoc)\n" v;
+        exit 2);
       go acc rest
     | x :: rest -> go (x :: acc) rest
     | [] -> List.rev acc
@@ -288,8 +297,13 @@ let run_fusion () =
         compiles byte-identical to a direct pipeline run),
     (h) rewrite-driver equivalence (worklist vs. legacy bounded driver:
         on modules where the legacy driver converges, byte-identical
-        canonicalized IR).
-    Oracles (b)–(h) run on workload modules every [--diff-every]
+        canonicalized IR),
+    (i) cache-model coherence (under dm and assoc models the cache
+        counters conserve exactly — hits + misses = global transactions
+        on every launch — the full digest is byte-identical between 1
+        and 4 domains, and an explicit flat model is byte-identical to
+        the default no-cache run).
+    Oracles (b)–(i) run on workload modules every [--diff-every]
     iterations; oracle (a) runs on a fresh random module every
     iteration. *)
 let run_fuzz () =
@@ -377,7 +391,14 @@ let run_fuzz () =
       (* Oracle (h): rewrite-driver equivalence — where the legacy
          bounded driver converges, the worklist driver must reach the
          same fixpoint, byte for byte. *)
-      match Differential.check_worklist_equivalence w with
+      (match Differential.check_worklist_equivalence w with
+      | Ok () -> ()
+      | Error f ->
+        record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail);
+      (* Oracle (i): cache-model coherence — exact conservation under
+         both non-flat models, domain-count byte-identity of the cache
+         digest, and flat ≡ default. *)
+      match Differential.check_cache_coherence ~domains:4 w with
       | Ok () -> ()
       | Error f ->
         record i f.Mlir.Difftest.f_oracle f.Mlir.Difftest.f_detail

@@ -91,6 +91,29 @@ let write_trace ?attribution (m : Common.measurement)
             })
       (Sycl_sim.Attribution.by_line tab)
   | None -> ());
+  (* Per-kernel cache hit-rate counters (non-flat --cache-model only):
+     one [ph:"C"] event per launch on the device lane. *)
+  List.iter
+    (fun (name, (s : Sycl_sim.Cost.launch_stats)) ->
+      if Sycl_sim.Cost.cache_active s then
+        Trace.add_counter sink
+          {
+            Trace.ct_name = "cache " ^ name;
+            ct_lane = Trace.Device;
+            ct_ts = base;
+            ct_series =
+              [
+                ("hits", s.Sycl_sim.Cost.cache_hits);
+                ("misses", s.Sycl_sim.Cost.cache_misses);
+                ( "hit_rate_pct",
+                  int_of_float
+                    (100.0
+                    *. Sycl_sim.Cache.hit_rate
+                         ~hits:s.Sycl_sim.Cost.cache_hits
+                         ~misses:s.Sycl_sim.Cost.cache_misses) );
+              ];
+          })
+    m.Common.m_result.Sycl_runtime.Host_interp.per_kernel;
   try
     Out_channel.with_open_text path (fun oc ->
         output_string oc (Mlir.Json.to_string (Trace.export sink) ^ "\n"));
@@ -143,7 +166,58 @@ let write_attribution_surfaces ~annotate ~attribution_json ~annotated_ir
         exit 1)
     annotated_ir
 
-let run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir =
+(** The cache surfaces: rendered hit/miss table under [--annotate], full
+    JSON (per-op counters + reuse-distance histogram) via
+    [--cache-json]. The flat model collects no table, so both are
+    no-ops there — [--cache-json] without a cache model is an error. *)
+let write_cache_surfaces ~annotate ~cache_json
+    (r : Sycl_runtime.Host_interp.run_result) =
+  (match Annotate.check_cache_conservation r with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "error: cache conservation violated: %s\n" msg;
+    exit 1);
+  match Annotate.merged_cache r with
+  | None ->
+    if cache_json <> None then begin
+      Printf.eprintf
+        "error: --cache-json requires a non-flat --cache-model (dm|assoc)\n";
+      exit 2
+    end
+  | Some tab ->
+    if annotate then begin
+      print_newline ();
+      print_string (Sycl_sim.Cache.render tab)
+    end;
+    Option.iter
+      (fun path ->
+        try
+          (* Prepend the launch-side transaction total so the
+             conservation invariant is checkable from this file alone:
+             hits + misses = global_transactions, exactly. *)
+          let transactions =
+            List.fold_left
+              (fun acc (_, s) ->
+                acc + s.Sycl_sim.Cost.global_transactions)
+              0 r.Sycl_runtime.Host_interp.per_kernel
+          in
+          let json =
+            match Sycl_sim.Cache.to_json tab with
+            | Mlir.Json.Obj kvs ->
+              Mlir.Json.Obj
+                (("global_transactions", Mlir.Json.Int transactions) :: kvs)
+            | j -> j
+          in
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Mlir.Json.to_string json ^ "\n"));
+          Printf.eprintf "cache counters written to %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "error: cannot write cache counters: %s\n" msg;
+          exit 1)
+      cache_json
+
+let run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir
+    ~cache_json =
   match Annotate.run_file cfg ~size path with
   | exception Annotate.File_error msg ->
     Printf.eprintf "error: %s: %s\n" path msg;
@@ -169,14 +243,17 @@ let run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir =
       exit 1);
     write_attribution_surfaces ~annotate ~attribution_json ~annotated_ir
       (Annotate.merged_attribution r)
-      m
+      m;
+    write_cache_surfaces ~annotate ~cache_json r
 
 let run list_flag bench mode compare no_licm no_reduction no_internalization
     no_hostdev fusion profile_json metrics_json trace_json sim_domains
-    check_races annotate file_arg size attribution_json annotated_ir delta =
+    check_races cache_model cache_json annotate file_arg size attribution_json
+    annotated_ir delta =
   if list_flag then (list_workloads (); exit 0);
   Option.iter Sycl_sim.Interp.set_default_domains sim_domains;
   if check_races then Sycl_sim.Interp.set_default_check_races true;
+  Option.iter Sycl_sim.Interp.set_default_cache_model cache_model;
   let want_attribution =
     annotate || attribution_json <> None || annotated_ir <> None
   in
@@ -191,6 +268,7 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
         ~enable_alias_refinement:(not no_hostdev) ~enable_fusion:fusion mode
     in
     run_mlir_file cfg ~path ~size ~annotate ~attribution_json ~annotated_ir
+      ~cache_json
   | None ->
   match bench with
   | None ->
@@ -258,6 +336,7 @@ let run list_flag bench mode compare no_licm no_reduction no_internalization
           end
           else None
         in
+        write_cache_surfaces ~annotate ~cache_json m.Common.m_result;
         Option.iter (write_profile m) profile_json;
         Option.iter (write_trace ?attribution m tm) trace_json;
         Option.iter (write_metrics m) metrics_json;
@@ -333,6 +412,34 @@ let check_races_arg =
               work-groups of one launch write overlapping global locations \
               (a violation of SYCL's inter-group independence).")
 
+let cache_model_conv =
+  Arg.conv
+    ( (fun s ->
+        match Sycl_sim.Cost.model_of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown cache model " ^ s ^ " (flat|dm|assoc)"))),
+      fun fmt m ->
+        Format.pp_print_string fmt (Sycl_sim.Cost.model_to_string m) )
+
+let cache_model_arg =
+  Arg.(value & opt (some cache_model_conv) None
+       & info [ "cache-model" ] ~docv:"MODEL"
+           ~doc:
+             "Simulate a per-core data cache over the coalesced global \
+              transactions: $(b,dm) (direct-mapped), $(b,assoc) \
+              (set-associative LRU) or $(b,flat) (no cache — the default, \
+              byte-identical to previous releases). Launch statistics gain \
+              hit/miss/eviction/memory-wait counters with \
+              hits + misses = global transactions exactly.")
+
+let cache_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-json" ] ~docv:"FILE"
+           ~doc:
+             "Write the merged per-op cache counters and the exact \
+              reuse-distance histogram (p50/p90/p99) to $(docv) as JSON. \
+              Requires a non-flat $(b,--cache-model).")
+
 let annotate_arg =
   Arg.(value & flag
        & info [ "annotate" ]
@@ -393,7 +500,8 @@ let cmd =
           $ flag "no-host-device" "Disable host-device propagation."
           $ flag "fusion" "Enable compile-time kernel fusion."
           $ profile_json_arg $ metrics_json_arg $ trace_json_arg
-          $ sim_domains_arg $ check_races_arg $ annotate_arg $ file_arg
-          $ size_arg $ attribution_json_arg $ annotated_ir_arg $ delta_arg)
+          $ sim_domains_arg $ check_races_arg $ cache_model_arg
+          $ cache_json_arg $ annotate_arg $ file_arg $ size_arg
+          $ attribution_json_arg $ annotated_ir_arg $ delta_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -12,7 +12,7 @@
      --stats             merged pass-statistics report (-stats style)
      --stats-json=F      per-pass statistics and wall time, as JSON
      --print-analysis=L  run analysis printers (alias, uniformity,
-                         reaching-defs, memory-access) after the pipeline:
+                         reaching-defs, memory-access, reuse) after the pipeline:
                          annotates the IR with sycl.* attributes and
                          reports to stderr
      --dump-after=P      print the IR after pass P ("all" for every pass)
@@ -559,7 +559,7 @@ let print_analysis_arg =
   let doc =
     "Comma-separated analyses to run after the pipeline. Each annotates \
      the IR with discardable sycl.* attributes and prints a report to \
-     stderr. Known: alias, uniformity, reaching-defs, memory-access."
+     stderr. Known: alias, uniformity, reaching-defs, memory-access, reuse."
   in
   Arg.(value & opt (list string) [] & info [ "print-analysis" ] ~docv:"LIST" ~doc)
 

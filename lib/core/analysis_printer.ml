@@ -33,15 +33,25 @@ let coalescing_attr = "sycl.coalescing"
 let temporal_reuse_attr = "sycl.temporal_reuse"
 
 (* Hotspot attribution (written by Sycl_sim.Attribution.annotate_module):
-   cycles and memory cycles the simulator attributed to the op. *)
+   cycles and memory cycles the simulator attributed to the op, plus the
+   cache-model hit/miss counts when a non-flat --cache-model ran. *)
 let cycles_attr = "sycl.cycles"
 let mem_cycles_attr = "sycl.mem_cycles"
+let cache_hits_attr = "sycl.cache_hits"
+let cache_misses_attr = "sycl.cache_misses"
+
+(* Predicted constant-stride reuse distance (the "reuse" printer): the
+   number of distinct cache lines a sub-group touches between two
+   consecutive accesses of the same line, derived from the access
+   matrix. *)
+let reuse_dist_attr = "sycl.reuse_dist"
 
 let annotation_attrs =
   [ alias_group_attr; arg_alias_groups_attr; uniform_attr; arg_uniform_attr;
     divergent_attr; def_id_attr; reaching_mods_attr; reaching_pmods_attr;
     access_matrix_attr; access_offsets_attr; coalescing_attr;
-    temporal_reuse_attr; cycles_attr; mem_cycles_attr ]
+    temporal_reuse_attr; cycles_attr; mem_cycles_attr; cache_hits_attr;
+    cache_misses_attr; reuse_dist_attr ]
 
 (* ---------------------------------------------------------------- *)
 (* Alias printer                                                     *)
@@ -304,15 +314,126 @@ let print_memory_access =
   Pass.on_functions "print-memory-access" print_memory_access_on_func
 
 (* ---------------------------------------------------------------- *)
+(* Reuse-distance printer                                            *)
+
+(* Static constant-stride reuse prediction from the access matrices.
+   The model mirrors the simulator's per-work-group cache: a sub-group's
+   coalesced lines are probed in canonical order, so the reuse distance
+   of an access is bounded by the loop body's per-iteration line
+   footprint — the number of distinct cache lines the sub-group touches
+   in one iteration of the enclosing loop.
+
+   An access has constant-stride reuse when its line is re-touched on
+   the next iteration, i.e. when its index is loop-invariant in every
+   dimension, or when only the fastest-varying dimension carries the
+   loop induction variable with a stride below the cache line. Such
+   accesses get a [sycl.reuse_dist] attribute holding the predicted
+   distance (the footprint); accesses whose line changes every
+   iteration have no short reuse and stay unannotated.
+
+   The sub-group and line geometry mirror [Sycl_sim.Cost.default]
+   (sub-group of 16, 16 elements per line); lib/core cannot depend on
+   lib/sim, so the constants are restated here. *)
+
+let reuse_subgroup_size = 16
+let reuse_line_elems = 16
+
+(* Coefficient of the fastest-varying thread dimension in [row], and the
+   coefficient of any loop induction variable. *)
+let row_coeffs (vars : Memory_access.var list) (row : int array) =
+  let thread = ref 0 and loop = ref 0 in
+  let fastest = ref (-1) in
+  List.iteri
+    (fun i v ->
+      match v with
+      | Memory_access.Global_id d | Memory_access.Local_id d ->
+        if d > !fastest && row.(i) <> 0 then begin
+          fastest := d;
+          thread := row.(i)
+        end
+      | Memory_access.Loop_iv _ -> if row.(i) <> 0 then loop := row.(i))
+    vars;
+  (!thread, !loop)
+
+(* Distinct lines a sub-group touches per iteration for one access. *)
+let access_footprint (a : Memory_access.access) =
+  let rows = Array.length a.Memory_access.matrix in
+  if rows = 0 then 1
+  else begin
+    let t, _ = row_coeffs a.Memory_access.vars a.Memory_access.matrix.(rows - 1) in
+    if t = 0 then 1
+    else
+      max 1
+        ((reuse_subgroup_size * abs t + reuse_line_elems - 1)
+        / reuse_line_elems)
+  end
+
+(* Does [a]'s line survive to the next iteration? *)
+let constant_stride_reuse (a : Memory_access.access) =
+  let rows = Array.length a.Memory_access.matrix in
+  if rows = 0 then false
+  else begin
+    let loop_in_outer = ref false in
+    for r = 0 to rows - 2 do
+      let _, l = row_coeffs a.Memory_access.vars a.Memory_access.matrix.(r) in
+      if l <> 0 then loop_in_outer := true
+    done;
+    let _, last_l =
+      row_coeffs a.Memory_access.vars a.Memory_access.matrix.(rows - 1)
+    in
+    (not !loop_in_outer) && abs last_l < reuse_line_elems
+  end
+
+let print_reuse_on_func (f : Core.op) stats =
+  if Uniformity.is_kernel f && not (Dialects.Func.is_declaration f) then begin
+    let rd = Reaching_defs.analyze_with_args f in
+    reportf "=== reuse: @%s ===\n" (Core.func_sym f);
+    let loops =
+      Core.collect f ~p:(fun o ->
+          Dialects.Scf.is_for o || Dialects.Affine_ops.is_for o)
+    in
+    List.iter
+      (fun loop ->
+        let accesses = Memory_access.analyze_loop ~kernel:f rd loop in
+        if accesses <> [] then begin
+          let footprint =
+            List.fold_left (fun acc a -> acc + access_footprint a) 0 accesses
+          in
+          List.iter
+            (fun (a : Memory_access.access) ->
+              Pass.Stats.bump stats "reuse.accesses";
+              if constant_stride_reuse a then begin
+                Core.set_attr a.Memory_access.acc_op reuse_dist_attr
+                  (Attr.Int footprint);
+                Pass.Stats.bump stats "reuse.constant-stride";
+                reportf "  %s: predicted reuse distance %d (footprint %d \
+                         lines/iter)\n"
+                  (Printer.summary a.Memory_access.acc_op)
+                  footprint footprint
+              end
+              else begin
+                Pass.Stats.bump stats "reuse.streaming";
+                reportf "  %s: streaming (no constant-stride reuse)\n"
+                  (Printer.summary a.Memory_access.acc_op)
+              end)
+            accesses
+        end)
+      loops
+  end
+
+let print_reuse = Pass.on_functions "print-reuse" print_reuse_on_func
+
+(* ---------------------------------------------------------------- *)
 
 let by_name = function
   | "alias" -> Some print_alias
   | "uniformity" -> Some print_uniformity
   | "reaching-defs" -> Some print_reaching_defs
   | "memory-access" -> Some print_memory_access
+  | "reuse" -> Some print_reuse
   | _ -> None
 
-let known = [ "alias"; "uniformity"; "reaching-defs"; "memory-access" ]
+let known = [ "alias"; "uniformity"; "reaching-defs"; "memory-access"; "reuse" ]
 
 (** Strip every annotation this module adds (so a pipeline can re-run the
     printers, or tests can check the IR is otherwise unchanged). *)

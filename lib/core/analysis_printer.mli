@@ -33,6 +33,17 @@ val cycles_attr : string
 val mem_cycles_attr : string
 (** Memory-traffic share of {!cycles_attr}. *)
 
+val cache_hits_attr : string
+(** Per-op cache hits under a non-flat [--cache-model], written by the
+    hotspot profiler. *)
+
+val cache_misses_attr : string
+(** Per-op cache misses under a non-flat [--cache-model]. *)
+
+val reuse_dist_attr : string
+(** Predicted constant-stride reuse distance (in cache lines), written
+    by the "reuse" printer. *)
+
 (** Every attribute the printers may add. *)
 val annotation_attrs : string list
 
@@ -43,8 +54,13 @@ val print_uniformity : Pass.t
 val print_reaching_defs : Pass.t
 val print_memory_access : Pass.t
 
+val print_reuse : Pass.t
+(** Predicts constant-stride reuse distances from the access matrices
+    and records them as {!reuse_dist_attr}; cross-checked against the
+    simulator's measured cache hit rates. *)
+
 (** Look up a printer by its user-facing name ("alias", "uniformity",
-    "reaching-defs", "memory-access"). *)
+    "reaching-defs", "memory-access", "reuse"). *)
 val by_name : string -> Pass.t option
 
 (** The user-facing analysis names accepted by {!by_name}. *)

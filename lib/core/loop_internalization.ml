@@ -395,6 +395,32 @@ let apply ~(kernel : Core.op) (loop : Core.op) (cands : candidate list) ~(m : in
             a runtime divisibility guard)"
            m m))
     cands;
+  (* Cache-model cross-reference: how the prefetched working set compares
+     to the simulated per-core data cache ([Sycl_sim.Cost.default]: 64
+     lines of 16 4-byte elements — restated here, lib/core cannot depend
+     on lib/sim). A working set within capacity means the tiles also fit
+     the modeled cache, so the local-memory prefetch competes with cache
+     hits rather than DRAM; beyond capacity the prefetch saves the full
+     miss latency. *)
+  let cache_capacity_bytes = 64 * 16 * 4 in
+  let elem_bytes = 4 in
+  let working_set_bytes =
+    List.fold_left
+      (fun acc c ->
+        let rank = List.length c.cand_rows in
+        let elems = if rank >= 2 then m * m else m in
+        acc + (elems * elem_bytes))
+      0 cands
+  in
+  remark ~name:"working-set" Remarks.Analysis
+    ~func:(Core.func_sym kernel) ~loc:loop.Core.loc
+    (Printf.sprintf
+       "prefetched working set is %d bytes across %d tile(s); the modeled \
+        per-core cache holds %d bytes — the tiles %s"
+       working_set_bytes (List.length cands) cache_capacity_bytes
+       (if working_set_bytes <= cache_capacity_bytes then
+          "fit in-cache (prefetch competes with cache hits)"
+        else "exceed cache capacity (prefetch avoids repeated misses)"));
   Pass.Stats.bump ~by:(List.length cands) stats "internalization.prefetched";
   Pass.Stats.bump stats "internalization.loops"
 

@@ -61,6 +61,9 @@ type run_result = {
   per_kernel_attribution : (string * Sycl_sim.Attribution.table) list;
       (** source-attributed charge tables, one per launch, in launch
           order (paired 1:1 with [per_kernel]) *)
+  per_kernel_cache : (string * Sycl_sim.Cache.table) list;
+      (** per-op cache counters + reuse-distance histogram per launch,
+          in launch order; empty under the flat model *)
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
   metrics : Metrics.registry;
@@ -80,6 +83,7 @@ type state = {
   jitted : (string, unit) Hashtbl.t;
   sim_domains : int option;  (* simulator backend knobs; None = defaults *)
   check_races : bool option;
+  cache_model : Cost.cache_model option;
   recorder : Profile.recorder;
   metrics : Metrics.registry;
   mutable r_device : int;
@@ -91,6 +95,7 @@ type state = {
   mutable r_deps : int;
   mutable r_per_kernel : (string * Cost.launch_stats) list;
   mutable r_attribution : (string * Sycl_sim.Attribution.table) list;
+  mutable r_cache : (string * Sycl_sim.Cache.table) list;
 }
 
 let lookup st (v : Core.value) =
@@ -330,10 +335,25 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
      the aggregate stats exactly), so collection cannot perturb the
      run — rendering it is what the --annotate surfaces gate. *)
   let attribution = Sycl_sim.Attribution.create () in
+  (* The cache table follows the same rule, but only exists under a
+     non-flat --cache-model: the flat model simulates no cache, so there
+     is nothing to collect and [per_kernel_cache] stays empty. *)
+  let cache_model =
+    match st.cache_model with
+    | Some m -> m
+    | None -> Interp.default_cache_model ()
+  in
+  let cache =
+    match cache_model with
+    | Cost.Flat -> None
+    | Cost.Direct_mapped | Cost.Set_associative ->
+      Some (Sycl_sim.Cache.create_table ())
+  in
   let stats =
     Interp.launch ~params:st.params ?domains:st.sim_domains
       ?check_races:st.check_races ~metrics:st.metrics ~attribution
-      ~module_op:st.module_op ~kernel ~args ~global ~wg_size:wg ()
+      ~cache_model ?cache ~module_op:st.module_op ~kernel ~args ~global
+      ~wg_size:wg ()
   in
   let dev_cycles = Cost.device_cycles st.params stats in
   st.r_device <- st.r_device + dev_cycles;
@@ -345,6 +365,9 @@ let launch_kernel st (q : Objects.queue) (h : Objects.handler) =
     "runtime.launch_latency_cycles" !latency;
   st.r_per_kernel <- (kernel_name, stats) :: st.r_per_kernel;
   st.r_attribution <- (kernel_name, attribution) :: st.r_attribution;
+  (match cache with
+  | Some t -> st.r_cache <- (kernel_name, t) :: st.r_cache
+  | None -> ());
   let cmd_id = q.Objects.q_next_cmd in
   q.Objects.q_next_cmd <- cmd_id + 1;
   q.Objects.q_commands <-
@@ -553,8 +576,8 @@ and exec_op st (op : Core.op) : [ `Next | `Yield of hv list ] =
     i-th host argument, typically host data arrays wrapped as
     [Scalar (Interp.Mem view)]. *)
 let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
-    ?check_races ~(module_op : Core.op) ?(main = "main") (main_args : hv list)
-    : run_result =
+    ?check_races ?cache_model ~(module_op : Core.op) ?(main = "main")
+    (main_args : hv list) : run_result =
   let f =
     match Core.lookup_func module_op main with
     | Some f -> f
@@ -572,6 +595,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
       jitted = Hashtbl.create 4;
       sim_domains;
       check_races;
+      cache_model;
       recorder = Profile.recorder ();
       metrics = Metrics.create ();
       r_device = 0;
@@ -583,6 +607,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
       r_deps = 0;
       r_per_kernel = [];
       r_attribution = [];
+      r_cache = [];
     }
   in
   let body = Core.func_body f in
@@ -604,6 +629,7 @@ let run ?(params = Cost.default) ?launch_hook ?(jit_cycles = 0) ?sim_domains
     dependency_edges = st.r_deps;
     per_kernel = List.rev st.r_per_kernel;
     per_kernel_attribution = List.rev st.r_attribution;
+    per_kernel_cache = List.rev st.r_cache;
     events = Profile.events st.recorder;
     metrics = st.metrics;
   }

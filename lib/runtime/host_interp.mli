@@ -49,6 +49,10 @@ type run_result = {
           order parallel to [per_kernel]; always collected (a pure side
           table — it cannot perturb the simulation), rendered only when
           a profiling surface asks for it *)
+  per_kernel_cache : (string * Sycl_sim.Cache.table) list;
+      (** per-op cache hit/miss counters and the exact reuse-distance
+          histogram for each launch, in launch order parallel to
+          [per_kernel]; empty under the flat cache model *)
   events : Profile.event list;
       (** the run's charge timeline, for trace export / profiling *)
   metrics : Sycl_obs.Metrics.registry;
@@ -61,16 +65,17 @@ type run_result = {
 (** Execute host function [main] of the module. [launch_hook], when
     given, fires once per kernel at its first launch with the runtime
     launch information; [jit_cycles] is charged at the same time.
-    [sim_domains] and [check_races] are passed through to every
-    {!Interp.launch} (simulator backend selection and cross-group race
-    checking); when omitted the simulator's process-wide defaults
-    apply. *)
+    [sim_domains], [check_races] and [cache_model] are passed through
+    to every {!Interp.launch} (simulator backend selection, cross-group
+    race checking and cache-hierarchy model); when omitted the
+    simulator's process-wide defaults apply. *)
 val run :
   ?params:Cost.params ->
   ?launch_hook:(Core.op -> launch_info -> unit) ->
   ?jit_cycles:int ->
   ?sim_domains:int ->
   ?check_races:bool ->
+  ?cache_model:Cost.cache_model ->
   module_op:Core.op ->
   ?main:string ->
   hv list ->

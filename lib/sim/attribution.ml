@@ -27,6 +27,8 @@ type counts = {
   mutable c_barriers : int;  (** barrier rounds charged to this op *)
   mutable c_cycles : int;  (** total cycles attributed (conserved) *)
   mutable c_mem_cycles : int;  (** memory portion of [c_cycles] *)
+  mutable c_hits : int;  (** cache hits among [c_global] (non-flat model) *)
+  mutable c_misses : int;  (** cache misses among [c_global] *)
 }
 
 type key = {
@@ -52,6 +54,8 @@ let fresh_counts () =
     c_barriers = 0;
     c_cycles = 0;
     c_mem_cycles = 0;
+    c_hits = 0;
+    c_misses = 0;
   }
 
 (** The row for (op name, loc), created on first charge. *)
@@ -86,7 +90,9 @@ let merge ~(into : table) (src : table) =
       d.c_accesses <- d.c_accesses + c.c_accesses;
       d.c_barriers <- d.c_barriers + c.c_barriers;
       d.c_cycles <- d.c_cycles + c.c_cycles;
-      d.c_mem_cycles <- d.c_mem_cycles + c.c_mem_cycles)
+      d.c_mem_cycles <- d.c_mem_cycles + c.c_mem_cycles;
+      d.c_hits <- d.c_hits + c.c_hits;
+      d.c_misses <- d.c_misses + c.c_misses)
     (rows src)
 
 let total_cycles (t : table) =
@@ -110,6 +116,8 @@ let conserves (t : table) (s : Cost.launch_stats) : (unit, string) result =
       ("const", sum (fun c -> c.c_const), s.Cost.const_transactions);
       ("barriers", sum (fun c -> c.c_barriers), s.Cost.barriers);
       ("cycles", sum (fun c -> c.c_cycles), s.Cost.total_wg_cycles);
+      ("cache hits", sum (fun c -> c.c_hits), s.Cost.cache_hits);
+      ("cache misses", sum (fun c -> c.c_misses), s.Cost.cache_misses);
     ]
   in
   match
@@ -141,6 +149,8 @@ type line_row = {
   l_mem_cycles : int;
   l_transactions : int;  (** coalesced transactions, all classes *)
   l_accesses : int;  (** raw accesses before coalescing *)
+  l_hits : int;  (** cache hits (0 under the flat model) *)
+  l_misses : int;  (** cache misses (0 under the flat model) *)
   l_ops : string list;  (** contributing op names, sorted *)
 }
 
@@ -163,6 +173,8 @@ let by_line (t : table) : line_row list =
                 l_mem_cycles = 0;
                 l_transactions = 0;
                 l_accesses = 0;
+                l_hits = 0;
+                l_misses = 0;
                 l_ops = [];
               }
           in
@@ -176,6 +188,8 @@ let by_line (t : table) : line_row list =
           l_mem_cycles = !r.l_mem_cycles + c.c_mem_cycles;
           l_transactions = !r.l_transactions + c.c_global + c.c_local + c.c_const;
           l_accesses = !r.l_accesses + c.c_accesses;
+          l_hits = !r.l_hits + c.c_hits;
+          l_misses = !r.l_misses + c.c_misses;
           l_ops =
             (if List.mem k.k_op !r.l_ops then !r.l_ops else k.k_op :: !r.l_ops);
         })
@@ -202,9 +216,16 @@ let known_cycle_fraction (t : table) =
 let pp_hotspots ?(top = 10) fmt (t : table) =
   let lines = by_line t in
   let total = total_cycles t in
+  (* The hit/miss/hit-rate columns only appear when a non-flat cache
+     model recorded probes, so flat-model reports stay byte-identical
+     to the pre-cache golden format. *)
+  let cached = List.exists (fun r -> r.l_hits + r.l_misses > 0) lines in
   Format.fprintf fmt "hotspots: %d source lines, %d attributed cycles@."
     (List.length lines) total;
-  Format.fprintf fmt "    cycles   share    trans  coalesce  line@.";
+  if cached then
+    Format.fprintf fmt
+      "    cycles   share    trans  coalesce     hits   misses  hitrate  line@."
+  else Format.fprintf fmt "    cycles   share    trans  coalesce  line@.";
   List.iteri
     (fun i r ->
       if i < top then begin
@@ -218,9 +239,23 @@ let pp_hotspots ?(top = 10) fmt (t : table) =
             Printf.sprintf "%.2f"
               (float_of_int r.l_accesses /. float_of_int r.l_transactions)
         in
-        Format.fprintf fmt "%10d  %5.1f%%  %7d  %8s  %s (%s)@." r.l_cycles
-          share r.l_transactions coalesce r.l_line
-          (String.concat ", " r.l_ops)
+        if cached then begin
+          let hitrate =
+            if r.l_hits + r.l_misses = 0 then "-"
+            else
+              Printf.sprintf "%.1f%%"
+                (100.0 *. float_of_int r.l_hits
+                /. float_of_int (r.l_hits + r.l_misses))
+          in
+          Format.fprintf fmt "%10d  %5.1f%%  %7d  %8s  %7d  %7d  %7s  %s (%s)@."
+            r.l_cycles share r.l_transactions coalesce r.l_hits r.l_misses
+            hitrate r.l_line
+            (String.concat ", " r.l_ops)
+        end
+        else
+          Format.fprintf fmt "%10d  %5.1f%%  %7d  %8s  %s (%s)@." r.l_cycles
+            share r.l_transactions coalesce r.l_line
+            (String.concat ", " r.l_ops)
       end)
     lines
 
@@ -236,7 +271,11 @@ let pp_row fmt (k, c) =
     "%s @ %s: alu=%d fdiv=%d mem(g=%d l=%d c=%d acc=%d) barriers=%d \
      cycles=%d mem_cycles=%d"
     k.k_op (Loc.to_string k.k_loc) c.c_alu c.c_fdiv c.c_global c.c_local
-    c.c_const c.c_accesses c.c_barriers c.c_cycles c.c_mem_cycles
+    c.c_const c.c_accesses c.c_barriers c.c_cycles c.c_mem_cycles;
+  (* Gated per row: flat-model rows never carry probes, so the digest
+     stays byte-identical to the seed format. *)
+  if c.c_hits + c.c_misses > 0 then
+    Format.fprintf fmt " cache(h=%d m=%d)" c.c_hits c.c_misses
 
 (** One line per row in canonical order — folded into the run digest so
     the determinism oracle covers attribution byte-for-byte. *)
@@ -255,20 +294,32 @@ let render (t : table) =
 
 let row_to_json (k, c) : Json.t =
   Json.Obj
-    [
-      ("op", Json.String k.k_op);
-      ("loc", Json.String (Loc.to_string k.k_loc));
-      ("line", Json.String (line_of_loc k.k_loc));
-      ("alu", Json.Int c.c_alu);
-      ("fdiv", Json.Int c.c_fdiv);
-      ("global", Json.Int c.c_global);
-      ("local", Json.Int c.c_local);
-      ("const", Json.Int c.c_const);
-      ("accesses", Json.Int c.c_accesses);
-      ("barriers", Json.Int c.c_barriers);
-      ("cycles", Json.Int c.c_cycles);
-      ("mem_cycles", Json.Int c.c_mem_cycles);
-    ]
+    ([
+       ("op", Json.String k.k_op);
+       ("loc", Json.String (Loc.to_string k.k_loc));
+       ("line", Json.String (line_of_loc k.k_loc));
+       ("alu", Json.Int c.c_alu);
+       ("fdiv", Json.Int c.c_fdiv);
+       ("global", Json.Int c.c_global);
+       ("local", Json.Int c.c_local);
+       ("const", Json.Int c.c_const);
+       ("accesses", Json.Int c.c_accesses);
+       ("barriers", Json.Int c.c_barriers);
+       ("cycles", Json.Int c.c_cycles);
+       ("mem_cycles", Json.Int c.c_mem_cycles);
+     ]
+    @
+    (* Gated: only rows with cache probes (non-flat model) carry the
+       hit/miss fields, keeping flat-model JSON byte-identical. *)
+    if c.c_hits + c.c_misses > 0 then
+      [
+        ("cache_hits", Json.Int c.c_hits);
+        ("cache_misses", Json.Int c.c_misses);
+        ( "cache_hit_rate",
+          Json.Float
+            (float_of_int c.c_hits /. float_of_int (c.c_hits + c.c_misses)) );
+      ]
+    else [])
 
 let to_json (t : table) : Json.t =
   Json.Obj
@@ -295,7 +346,13 @@ let annotate_module (t : table) (m : Core.op) =
           (Attr.Int c.c_cycles);
         if c.c_mem_cycles > 0 then
           Core.set_attr op Sycl_core.Analysis_printer.mem_cycles_attr
-            (Attr.Int c.c_mem_cycles)
+            (Attr.Int c.c_mem_cycles);
+        if c.c_hits > 0 then
+          Core.set_attr op Sycl_core.Analysis_printer.cache_hits_attr
+            (Attr.Int c.c_hits);
+        if c.c_misses > 0 then
+          Core.set_attr op Sycl_core.Analysis_printer.cache_misses_attr
+            (Attr.Int c.c_misses)
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,9 @@ type params = {
   transfer_line_cycles : int;  (* host<->device per cache line *)
   jit_compile_cycles : int;  (* AdaptiveCpp first-launch JIT *)
   scheduler_cycles : int;  (* per command-group runtime bookkeeping *)
+  cache_lines : int;  (* per-core data cache capacity, in lines *)
+  cache_ways : int;  (* associativity of the set-associative model *)
+  cache_hit_cycles : int;  (* per transaction that hits in the cache *)
 }
 
 let default =
@@ -46,7 +49,29 @@ let default =
     transfer_line_cycles = 8;
     jit_compile_cycles = 20_000_000;
     scheduler_cycles = 8_000;
+    cache_lines = 64;
+    cache_ways = 4;
+    cache_hit_cycles = 4;
   }
+
+(* Per-core data cache model. [Flat] is the seed behaviour: every global
+   transaction costs [global_mem_cycles] and no cache state is simulated
+   (output stays byte-identical to before the cache existed).
+   [Direct_mapped] and [Set_associative] (LRU) probe a per-work-group
+   cache on every coalesced global transaction; hits cost
+   [cache_hit_cycles], misses the full [global_mem_cycles]. *)
+type cache_model = Flat | Direct_mapped | Set_associative
+
+let model_of_string = function
+  | "flat" -> Some Flat
+  | "dm" -> Some Direct_mapped
+  | "assoc" -> Some Set_associative
+  | _ -> None
+
+let model_to_string = function
+  | Flat -> "flat"
+  | Direct_mapped -> "dm"
+  | Set_associative -> "assoc"
 
 (** Statistics for one kernel launch (accumulated across work-groups). *)
 type launch_stats = {
@@ -60,6 +85,12 @@ type launch_stats = {
   mutable work_items : int;
   mutable max_wg_cycles : int;
   mutable total_wg_cycles : int;
+  (* Cache-model counters; all stay 0 under [Flat] so every rendering
+     surface can gate on them and keep flat output byte-identical. *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable cache_mem_wait_cycles : int;
 }
 
 let fresh_launch_stats () =
@@ -74,6 +105,10 @@ let fresh_launch_stats () =
     work_items = 0;
     max_wg_cycles = 0;
     total_wg_cycles = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    cache_mem_wait_cycles = 0;
   }
 
 (** Merge [src] into [into]. Used by the parallel simulator backend:
@@ -91,7 +126,12 @@ let merge_launch_stats ~(into : launch_stats) (src : launch_stats) =
   into.work_groups <- into.work_groups + src.work_groups;
   into.work_items <- into.work_items + src.work_items;
   into.max_wg_cycles <- max into.max_wg_cycles src.max_wg_cycles;
-  into.total_wg_cycles <- into.total_wg_cycles + src.total_wg_cycles
+  into.total_wg_cycles <- into.total_wg_cycles + src.total_wg_cycles;
+  into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.cache_misses <- into.cache_misses + src.cache_misses;
+  into.cache_evictions <- into.cache_evictions + src.cache_evictions;
+  into.cache_mem_wait_cycles <-
+    into.cache_mem_wait_cycles + src.cache_mem_wait_cycles
 
 (** Cycle cost of one work-group's recorded charges: the summed ALU and
     fdiv charges amortize over the sub-group width (one integer division
@@ -99,9 +139,16 @@ let merge_launch_stats ~(into : launch_stats) (src : launch_stats) =
     with a largest-remainder rule so per-op shares still sum exactly to
     this), plus exact per-transaction memory and per-round barrier
     costs. *)
-let wg_cycles (p : params) ~alu ~fdiv ~global ~local ~const ~barriers =
+let global_cycles (p : params) ~(model : cache_model) ~global ~hits ~misses =
+  match model with
+  | Flat -> global * p.global_mem_cycles
+  | Direct_mapped | Set_associative ->
+    (hits * p.cache_hit_cycles) + (misses * p.global_mem_cycles)
+
+let wg_cycles (p : params) ?(model = Flat) ?(hits = 0) ?(misses = 0) ~alu ~fdiv
+    ~global ~local ~const ~barriers () =
   ((alu * p.alu_cycles) + (fdiv * p.fdiv_cycles)) / max 1 p.subgroup_size
-  + (global * p.global_mem_cycles)
+  + global_cycles p ~model ~global ~hits ~misses
   + (local * p.local_mem_cycles)
   + (const * p.const_mem_cycles)
   + (barriers * p.barrier_cycles)
@@ -117,9 +164,17 @@ let launch_overhead (p : params) ~(live_args : int) =
 let transfer_cycles (p : params) ~(elems : int) =
   (elems + p.cache_line_elems - 1) / p.cache_line_elems * p.transfer_line_cycles
 
+(** True when a non-flat cache model recorded at least one probe. All
+    cache-aware output surfaces gate on this so [Flat] runs stay
+    byte-identical to the pre-cache format. *)
+let cache_active (s : launch_stats) = s.cache_hits + s.cache_misses > 0
+
 let pp_launch_stats fmt (s : launch_stats) =
   Format.fprintf fmt
     "alu=%d fdiv=%d mem(g=%d l=%d c=%d) barriers=%d wgs=%d items=%d cycles(total=%d max=%d)"
     s.alu_ops s.fdiv_ops s.global_transactions s.local_transactions
     s.const_transactions s.barriers s.work_groups s.work_items
-    s.total_wg_cycles s.max_wg_cycles
+    s.total_wg_cycles s.max_wg_cycles;
+  if cache_active s then
+    Format.fprintf fmt " cache(hits=%d misses=%d evict=%d wait=%d)"
+      s.cache_hits s.cache_misses s.cache_evictions s.cache_mem_wait_cycles

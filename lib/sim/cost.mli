@@ -22,9 +22,25 @@ type params = {
   transfer_line_cycles : int;  (** host<->device, per cache line *)
   jit_compile_cycles : int;  (** AdaptiveCpp first-launch JIT *)
   scheduler_cycles : int;  (** per command-group runtime bookkeeping *)
+  cache_lines : int;  (** per-core data cache capacity, in lines *)
+  cache_ways : int;  (** associativity of the set-associative model *)
+  cache_hit_cycles : int;  (** per transaction that hits in the cache *)
 }
 
 val default : params
+
+(** Per-core data cache model selection. [Flat] reproduces the seed
+    behaviour exactly (every global transaction pays
+    [global_mem_cycles], no cache state); [Direct_mapped] and
+    [Set_associative] (LRU) simulate a per-work-group cache over the
+    coalesced transaction stream — hits pay [cache_hit_cycles], misses
+    [global_mem_cycles]. *)
+type cache_model = Flat | Direct_mapped | Set_associative
+
+(** Parses ["flat"], ["dm"], ["assoc"] (the [--cache-model] spellings). *)
+val model_of_string : string -> cache_model option
+
+val model_to_string : cache_model -> string
 
 (** Statistics for one kernel launch (accumulated across work-groups). *)
 type launch_stats = {
@@ -38,28 +54,51 @@ type launch_stats = {
   mutable work_items : int;
   mutable max_wg_cycles : int;
   mutable total_wg_cycles : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable cache_mem_wait_cycles : int;
 }
 
 val fresh_launch_stats : unit -> launch_stats
+
+(** [cache_hits + cache_misses > 0]: a non-flat model recorded probes.
+    Output surfaces gate their cache columns on this, keeping [Flat]
+    output byte-identical to the pre-cache format. *)
+val cache_active : launch_stats -> bool
 
 (** Merge [src] into [into]: sums everywhere except [max_wg_cycles]
     (max). Commutative and associative, so the parallel backend's
     per-worker accumulators merge to exactly the sequential totals. *)
 val merge_launch_stats : into:launch_stats -> launch_stats -> unit
 
+(** Cycle cost of the [global] coalesced transactions under [model]:
+    flat charges every transaction [global_mem_cycles]; the cache models
+    charge [hits] at [cache_hit_cycles] and [misses] at
+    [global_mem_cycles]. Shared by [wg_cycles] and the attribution
+    splitter so per-op memory shares sum exactly to the group total. *)
+val global_cycles :
+  params -> model:cache_model -> global:int -> hits:int -> misses:int -> int
+
 (** Cycle cost of one work-group's recorded charges: summed ALU/fdiv
     charges amortize over the sub-group width (one integer division per
     group), plus exact per-transaction memory and per-round barrier
-    costs. The single source of truth shared by the simulator's
-    accounting and the attribution table's conservation oracle. *)
+    costs. Under a non-flat [?model], the global term is hit/miss
+    differentiated ([?hits]/[?misses] must then sum to [global]). The
+    single source of truth shared by the simulator's accounting and the
+    attribution table's conservation oracle. *)
 val wg_cycles :
   params ->
+  ?model:cache_model ->
+  ?hits:int ->
+  ?misses:int ->
   alu:int ->
   fdiv:int ->
   global:int ->
   local:int ->
   const:int ->
   barriers:int ->
+  unit ->
   int
 
 (** Device time of a launch: work-groups spread across compute units,

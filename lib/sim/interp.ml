@@ -68,6 +68,13 @@ type op_charge = {
   mutable oc_fdiv : int;
   mutable oc_accesses : int;  (* raw non-private accesses, pre-coalescing *)
   mutable oc_barriers : int;  (* barrier rounds this op's barrier closed *)
+  (* Cache-model probes of this op's global transactions (all 0 under
+     the flat model — no probes happen). *)
+  mutable oc_hits : int;
+  mutable oc_misses : int;
+  mutable oc_evictions : int;
+  mutable oc_dist_sum : int;  (* summed warm reuse distances *)
+  mutable oc_dist_count : int;  (* warm re-accesses *)
 }
 
 type wg_ctx = {
@@ -81,11 +88,18 @@ type wg_ctx = {
   attribution : Attribution.table option;
       (* source-attribution sink; None skips per-op bookkeeping *)
   op_charges : (int, op_charge) Hashtbl.t;  (* op id -> per-wg charges *)
+  cache_model : Cost.cache_model;
+  cache : Cache.state option;  (* per-group cache; None under Flat *)
+  reuse : Cache.reuse option;  (* per-group reuse-distance tracker *)
+  cache_tab : Cache.table option;  (* per-op cache counter sink *)
   mutable cur_barrier : Core.op option;
       (* the barrier op the group is currently suspended at *)
   mutable wg_alu : int;
   mutable wg_fdiv : int;
   mutable wg_barriers : int;
+  mutable wg_hits : int;
+  mutable wg_misses : int;
+  mutable wg_evictions : int;
 }
 
 type wi_ctx = {
@@ -116,7 +130,11 @@ let op_charge (wg : wg_ctx) (op : Core.op) =
   match Hashtbl.find_opt wg.op_charges op.Core.oid with
   | Some c -> c
   | None ->
-    let c = { oc_op = op; oc_alu = 0; oc_fdiv = 0; oc_accesses = 0; oc_barriers = 0 } in
+    let c =
+      { oc_op = op; oc_alu = 0; oc_fdiv = 0; oc_accesses = 0; oc_barriers = 0;
+        oc_hits = 0; oc_misses = 0; oc_evictions = 0; oc_dist_sum = 0;
+        oc_dist_count = 0 }
+    in
     Hashtbl.replace wg.op_charges op.Core.oid c;
     c
 
@@ -161,7 +179,44 @@ let record_access ctx (op : Core.op) (view : Memory.view) (idx : int list) =
         t
     in
     let a = view.Memory.base in
-    Hashtbl.replace tbl (a.Memory.aid, line, latency_class a) ()
+    let cls = latency_class a in
+    let tkey = (a.Memory.aid, line, cls) in
+    (* Probe the cache exactly once per NEW coalesced global transaction:
+       the per-(op, occurrence, sub-group) table only ever grows, and the
+       flush counts its entries as global transactions, so
+       hits + misses = global_transactions holds by construction.
+       Fibers of a group run sequentially in canonical order, so the
+       probe sequence is deterministic and domain-count independent. *)
+    (match ctx.wg.cache with
+    | Some cache when cls = 0 && not (Hashtbl.mem tbl tkey) ->
+      let { Cache.o_hit; o_evicted } =
+        Cache.access cache ~aid:a.Memory.aid ~line
+      in
+      if o_hit then ctx.wg.wg_hits <- ctx.wg.wg_hits + 1
+      else ctx.wg.wg_misses <- ctx.wg.wg_misses + 1;
+      if o_evicted then ctx.wg.wg_evictions <- ctx.wg.wg_evictions + 1;
+      let dist =
+        match ctx.wg.reuse with
+        | Some r ->
+          let d = Cache.reuse_access r ~aid:a.Memory.aid ~line in
+          Option.iter (fun t -> Cache.observe_distance t d) ctx.wg.cache_tab;
+          d
+        | None -> None
+      in
+      if Option.is_some ctx.wg.attribution || Option.is_some ctx.wg.cache_tab
+      then begin
+        let c = op_charge ctx.wg op in
+        if o_hit then c.oc_hits <- c.oc_hits + 1
+        else c.oc_misses <- c.oc_misses + 1;
+        if o_evicted then c.oc_evictions <- c.oc_evictions + 1;
+        match dist with
+        | Some d ->
+          c.oc_dist_sum <- c.oc_dist_sum + d;
+          c.oc_dist_count <- c.oc_dist_count + 1
+        | None -> ()
+      end
+    | _ -> ());
+    Hashtbl.replace tbl tkey ()
 
 (* Record a store into the group's write footprint (race detection),
    tagged with the storing op's source location so a race report can
@@ -667,8 +722,13 @@ let attribute_wg (wg : wg_ctx) (tab : Attribution.table) =
     (fun c ->
       let oid = c.oc_op.Core.oid in
       let m = Option.value ~default:[| 0; 0; 0 |] (Hashtbl.find_opt mem oid) in
+      (* The op's global term uses the same hit/miss-differentiated
+         formula as the group total (per-op hits + misses = per-op
+         global transactions, exactly), so per-row cycles still sum to
+         [total_wg_cycles] with no epsilon under any cache model. *)
       let mem_cycles =
-        (m.(0) * p.Cost.global_mem_cycles)
+        Cost.global_cycles p ~model:wg.cache_model ~global:m.(0)
+          ~hits:c.oc_hits ~misses:c.oc_misses
         + (m.(1) * p.Cost.local_mem_cycles)
         + (m.(2) * p.Cost.const_mem_cycles)
       in
@@ -689,8 +749,29 @@ let attribute_wg (wg : wg_ctx) (tab : Attribution.table) =
       row.Attribution.c_accesses <- row.Attribution.c_accesses + c.oc_accesses;
       row.Attribution.c_barriers <- row.Attribution.c_barriers + c.oc_barriers;
       row.Attribution.c_cycles <- row.Attribution.c_cycles + cycles;
-      row.Attribution.c_mem_cycles <- row.Attribution.c_mem_cycles + mem_cycles)
+      row.Attribution.c_mem_cycles <- row.Attribution.c_mem_cycles + mem_cycles;
+      row.Attribution.c_hits <- row.Attribution.c_hits + c.oc_hits;
+      row.Attribution.c_misses <- row.Attribution.c_misses + c.oc_misses)
     charges
+
+(* Flush one work-group's per-op cache probes into the cache table (rows
+   keyed like attribution; the launch-global reuse histogram was already
+   fed at probe time). Canonical op order for determinism. *)
+let cache_attribute_wg (wg : wg_ctx) (tab : Cache.table) =
+  Hashtbl.fold (fun _ c acc -> c :: acc) wg.op_charges []
+  |> List.sort (fun a b -> compare a.oc_op.Core.oid b.oc_op.Core.oid)
+  |> List.iter (fun c ->
+         if c.oc_hits + c.oc_misses > 0 then begin
+           let r =
+             Cache.row tab ~op_name:c.oc_op.Core.name
+               ~loc:(Loc.to_string c.oc_op.Core.loc)
+           in
+           r.Cache.r_hits <- r.Cache.r_hits + c.oc_hits;
+           r.Cache.r_misses <- r.Cache.r_misses + c.oc_misses;
+           r.Cache.r_evictions <- r.Cache.r_evictions + c.oc_evictions;
+           r.Cache.r_dist_sum <- r.Cache.r_dist_sum + c.oc_dist_sum;
+           r.Cache.r_dist_count <- r.Cache.r_dist_count + c.oc_dist_count
+         end)
 
 (** Flush a work-group's bookkeeping into the launch statistics. *)
 let flush_wg (wg : wg_ctx) (n_items : int) =
@@ -712,13 +793,20 @@ let flush_wg (wg : wg_ctx) (n_items : int) =
   s.Cost.barriers <- s.Cost.barriers + wg.wg_barriers;
   s.Cost.work_groups <- s.Cost.work_groups + 1;
   s.Cost.work_items <- s.Cost.work_items + n_items;
+  s.Cost.cache_hits <- s.Cost.cache_hits + wg.wg_hits;
+  s.Cost.cache_misses <- s.Cost.cache_misses + wg.wg_misses;
+  s.Cost.cache_evictions <- s.Cost.cache_evictions + wg.wg_evictions;
+  s.Cost.cache_mem_wait_cycles <-
+    s.Cost.cache_mem_wait_cycles + (wg.wg_misses * p.Cost.global_mem_cycles);
   let wg_cycles =
-    Cost.wg_cycles p ~alu:wg.wg_alu ~fdiv:wg.wg_fdiv ~global:!g ~local:!l
-      ~const:!c ~barriers:wg.wg_barriers
+    Cost.wg_cycles p ~model:wg.cache_model ~hits:wg.wg_hits
+      ~misses:wg.wg_misses ~alu:wg.wg_alu ~fdiv:wg.wg_fdiv ~global:!g ~local:!l
+      ~const:!c ~barriers:wg.wg_barriers ()
   in
   s.Cost.total_wg_cycles <- s.Cost.total_wg_cycles + wg_cycles;
   if wg_cycles > s.Cost.max_wg_cycles then s.Cost.max_wg_cycles <- wg_cycles;
-  Option.iter (attribute_wg wg) wg.attribution
+  Option.iter (attribute_wg wg) wg.attribution;
+  Option.iter (cache_attribute_wg wg) wg.cache_tab
 
 (* ------------------------------------------------------------------ *)
 (* Cross-group race detection                                          *)
@@ -795,6 +883,12 @@ let check_races_default = Atomic.make false
 let set_default_check_races b = Atomic.set check_races_default b
 let default_check_races () = Atomic.get check_races_default
 
+(* Process-wide default behind --cache-model. Flat keeps every output
+   surface byte-identical to the pre-cache behaviour. *)
+let cache_model_default = Atomic.make Cost.Flat
+let set_default_cache_model m = Atomic.set cache_model_default m
+let default_cache_model () = Atomic.get cache_model_default
+
 (** Launch [kernel] over [global]/[wg_size]. [args.(i)] binds kernel
     argument i; the item-like argument must be bound to [Item]. Returns
     the accumulated launch statistics. When [metrics] is given, device
@@ -806,8 +900,9 @@ let default_check_races () = Atomic.get check_races_default
     worker-private shards merged in the same canonical chunk order, so
     the table is byte-identical whatever the domain count. *)
 let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
-    ~(module_op : Core.op) ~(kernel : Core.op) ~(args : rv array)
-    ~(global : int list) ~(wg_size : int list) () : Cost.launch_stats =
+    ?cache_model ?cache ~(module_op : Core.op) ~(kernel : Core.op)
+    ~(args : rv array) ~(global : int list) ~(wg_size : int list) () :
+    Cost.launch_stats =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -817,6 +912,11 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
     match check_races with
     | Some b -> b
     | None -> Atomic.get check_races_default
+  in
+  let cache_model =
+    match cache_model with
+    | Some m -> m
+    | None -> Atomic.get cache_model_default
   in
   let stats = Cost.fresh_launch_stats () in
   let global = Array.of_list global and wg_size = Array.of_list wg_size in
@@ -859,7 +959,7 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
      one — group results are independent, so where they accumulate only
      affects scheduling, never the merged totals). *)
   let run_group (into : Cost.launch_stats) (atab : Attribution.table option)
-      (g : int) =
+      (ctab : Cache.table option) (g : int) =
     let grp = unflatten group_range g in
     let wg =
       {
@@ -871,10 +971,23 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
         mem_table = Hashtbl.create 256;
         attribution = atab;
         op_charges = Hashtbl.create 64;
+        cache_model;
+        (* Fresh per-group cache + reuse state: groups own their core,
+           so no cross-group (and thus no cross-domain) coupling. *)
+        cache = Cache.create params cache_model;
+        reuse =
+          (match (ctab, cache_model) with
+          | Some _, (Cost.Direct_mapped | Cost.Set_associative) ->
+            Some (Cache.reuse_create ())
+          | _ -> None);
+        cache_tab = ctab;
         cur_barrier = None;
         wg_alu = 0;
         wg_fdiv = 0;
         wg_barriers = 0;
+        wg_hits = 0;
+        wg_misses = 0;
+        wg_evictions = 0;
       }
     in
     let thunks =
@@ -928,9 +1041,9 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
   in
   if d <= 1 then begin
     (* Sequential backend: groups in canonical order into the shared
-       stats record (and attribution table). *)
+       stats record (and attribution / cache tables). *)
     for g = 0 to n_groups - 1 do
-      run_group stats attribution g
+      run_group stats attribution cache g
     done;
     match sharded with
     | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh 0) stats
@@ -951,14 +1064,16 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
     in
     let run_chunk i =
       let s = Cost.fresh_launch_stats () in
-      (* Worker-private attribution shard, merged in chunk order below. *)
+      (* Worker-private attribution and cache shards, merged in chunk
+         order below. *)
       let at = Option.map (fun _ -> Attribution.create ()) attribution in
+      let ct = Option.map (fun _ -> Cache.create_table ()) cache in
       let failure = ref None in
       let start, stop = chunk i in
       let g = ref start in
       (try
          while !g < stop do
-           run_group s at !g;
+           run_group s at ct !g;
            incr g
          done
        with e -> failure := Some (!g, e));
@@ -967,24 +1082,31 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
       (match sharded with
       | Some sh -> record_shard (Sycl_obs.Metrics.Sharded.shard sh i) s
       | None -> ());
-      (s, at, !failure)
+      (s, at, ct, !failure)
     in
     let workers =
       Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run_chunk (i + 1)))
     in
     let first = run_chunk 0 in
     let results = Array.append [| first |] (Array.map Domain.join workers) in
-    Array.iter (fun (s, _, _) -> Cost.merge_launch_stats ~into:stats s) results;
+    Array.iter (fun (s, _, _, _) -> Cost.merge_launch_stats ~into:stats s) results;
     (match attribution with
     | Some into ->
       Array.iter
-        (fun (_, at, _) ->
+        (fun (_, at, _, _) ->
           match at with Some src -> Attribution.merge ~into src | None -> ())
+        results
+    | None -> ());
+    (match cache with
+    | Some into ->
+      Array.iter
+        (fun (_, _, ct, _) ->
+          match ct with Some src -> Cache.merge ~into src | None -> ())
         results
     | None -> ());
     let first_failure =
       Array.fold_left
-        (fun acc (_, _, f) ->
+        (fun acc (_, _, _, f) ->
           match (acc, f) with
           | None, f -> f
           | Some (g0, _), Some (g, _) when g < g0 -> f
@@ -995,6 +1117,31 @@ let launch ?(params = Cost.default) ?domains ?check_races ?metrics ?attribution
   end;
   (match (metrics, sharded) with
   | Some reg, Some sh -> Sycl_obs.Metrics.Sharded.merge_into ~into:reg sh
+  | _ -> ());
+  (* Cache counters are recorded once from the merged totals (so they
+     are deterministic whatever the domain count), and only when a
+     non-flat model ran — a flat launch leaves the registry untouched,
+     keeping --metrics-json byte-identical to the seed. *)
+  (match metrics with
+  | Some reg when cache_model <> Cost.Flat ->
+    Sycl_obs.Metrics.incr reg ~by:stats.Cost.cache_hits "sim.cache.hits";
+    Sycl_obs.Metrics.incr reg ~by:stats.Cost.cache_misses "sim.cache.misses";
+    Sycl_obs.Metrics.incr reg ~by:stats.Cost.cache_evictions
+      "sim.cache.evictions";
+    Sycl_obs.Metrics.incr reg ~by:stats.Cost.cache_mem_wait_cycles
+      "sim.cache.mem_wait_cycles";
+    (match cache with
+    | Some t ->
+      (* Exact reuse-distance histogram (p50/p90/p99 are exact
+         nearest-rank because the registry keeps a value->count table).
+         Power-of-two bucket bounds for the rendered buckets. *)
+      let bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |] in
+      Cache.iter_hist t (fun dist count ->
+          for _ = 1 to count do
+            Sycl_obs.Metrics.observe reg ~bounds "sim.cache.reuse_distance"
+              dist
+          done)
+    | None -> ())
   | _ -> ());
   (match footprints with
   | Some fps ->

@@ -84,12 +84,21 @@ let events (r : recorder) =
 (** Cycle breakdown of a launch under [p]: the categories the cost model
     charges per work-group, totalled across the launch. *)
 let breakdown (p : Cost.params) (s : Cost.launch_stats) : (string * int) list =
+  (* Under a non-flat cache model the global component prices hits and
+     misses separately (same formula the work-group cost used); the
+     cache counters ride along so trace viewers can chart hit rates. *)
+  let global_cycles =
+    if Cost.cache_active s then
+      (s.Cost.cache_hits * p.Cost.cache_hit_cycles)
+      + (s.Cost.cache_misses * p.Cost.global_mem_cycles)
+    else s.Cost.global_transactions * p.Cost.global_mem_cycles
+  in
   [
     ("compute_cycles",
      (s.Cost.alu_ops * p.Cost.alu_cycles)
      + (s.Cost.fdiv_ops * p.Cost.fdiv_cycles));
     ("memory_cycles",
-     (s.Cost.global_transactions * p.Cost.global_mem_cycles)
+     global_cycles
      + (s.Cost.local_transactions * p.Cost.local_mem_cycles)
      + (s.Cost.const_transactions * p.Cost.const_mem_cycles));
     ("barrier_cycles", s.Cost.barriers * p.Cost.barrier_cycles);
@@ -102,6 +111,15 @@ let breakdown (p : Cost.params) (s : Cost.launch_stats) : (string * int) list =
     ("max_wg_cycles", s.Cost.max_wg_cycles);
     ("num_cu", p.Cost.num_cu);
   ]
+  @
+  if Cost.cache_active s then
+    [
+      ("cache_hits", s.Cost.cache_hits);
+      ("cache_misses", s.Cost.cache_misses);
+      ("cache_evictions", s.Cost.cache_evictions);
+      ("cache_mem_wait_cycles", s.Cost.cache_mem_wait_cycles);
+    ]
+  else []
 
 (* ------------------------------------------------------------------ *)
 (* Per-kernel profiles                                                 *)

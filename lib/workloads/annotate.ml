@@ -37,6 +37,16 @@ let merged_attribution (r : H.run_result) : Attribution.table =
     r.H.per_kernel_attribution;
   t
 
+(** Same for the cache tables; [None] when the run simulated no cache
+    (the flat model collects nothing). *)
+let merged_cache (r : H.run_result) : Sycl_sim.Cache.table option =
+  match r.H.per_kernel_cache with
+  | [] -> None
+  | tabs ->
+    let t = Sycl_sim.Cache.create_table () in
+    List.iter (fun (_, src) -> Sycl_sim.Cache.merge ~into:t src) tabs;
+    Some t
+
 (* ------------------------------------------------------------------ *)
 (* Standalone .mlir file runner                                        *)
 (* ------------------------------------------------------------------ *)
@@ -126,3 +136,23 @@ let check_conservation (r : H.run_result) : (unit, string) result =
     | _ -> Error "per_kernel and per_kernel_attribution lists disagree"
   in
   go r.H.per_kernel r.H.per_kernel_attribution
+
+(** Check that every launch's cache table decomposes its launch cache
+    counters exactly and that [hits + misses = global_transactions]
+    ({!Sycl_sim.Cache.conserves}). Trivially [Ok] under the flat model
+    (no tables are collected). *)
+let check_cache_conservation (r : H.run_result) : (unit, string) result =
+  if r.H.per_kernel_cache = [] then Ok ()
+  else
+    (* Under a non-flat model every launch collects a table, so the two
+       lists pair positionally like the attribution check. *)
+    let rec go stats tabs =
+      match (stats, tabs) with
+      | [], [] -> Ok ()
+      | (name, s) :: stats', (name', t) :: tabs' when name = name' -> (
+        match Sycl_sim.Cache.conserves t s with
+        | [] -> go stats' tabs'
+        | v :: _ -> Error (Printf.sprintf "%s: %s" name v))
+      | _ -> Error "per_kernel and per_kernel_cache lists disagree"
+    in
+    go r.H.per_kernel r.H.per_kernel_cache

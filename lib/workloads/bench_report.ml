@@ -31,8 +31,15 @@ module Service = Sycl_service.Service
    exactly like cycle regressions, so a pass that quietly returns to
    rescanning the module fails CI. Compile wall time lives in the
    entry's "measured" subobject: machine-dependent, informational,
-   excluded from determinism diffs and never gated. *)
-let schema_version = 5
+   excluded from determinism diffs and never gated.
+   v6: every workload carries a "cache" section from an extra SYCL-MLIR
+   run under the direct-mapped cache model (--cache-model dm):
+   hit/miss/eviction counters, the hit rate and the exact
+   reuse-distance percentiles. All deterministic (the cache is probed
+   in canonical order); [compare_reports] gates the per-workload hit
+   rate like the service hit rate, so a transform that quietly destroys
+   locality fails CI. *)
+let schema_version = 6
 
 (** One hotspot line of a workload's located SYCL-MLIR run. *)
 type hotspot = {
@@ -69,6 +76,20 @@ type compile_metrics = {
   co_wall_us : int;  (** measured: parse + full pipeline wall time *)
 }
 
+(** The v6 "cache" section: hit/miss counters and reuse-distance
+    percentiles of an extra SYCL-MLIR run under the direct-mapped cache
+    model. Deterministic — the probe order is canonical. *)
+type cache_metrics = {
+  ca_hits : int;
+  ca_misses : int;
+  ca_evictions : int;
+  ca_hit_rate : float;
+  ca_reuse_p50 : int;  (** exact reuse-distance percentiles; 0 when no
+                           warm re-access was measured *)
+  ca_reuse_p90 : int;
+  ca_reuse_p99 : int;
+}
+
 type entry = {
   e_name : string;
   e_category : string;
@@ -82,6 +103,7 @@ type entry = {
   e_hotspots : hotspot list;
       (** top-3 source lines by attributed device cycles (v4) *)
   e_compile : compile_metrics;  (** compiler-speed counters (v5) *)
+  e_cache : cache_metrics;  (** direct-mapped cache counters (v6) *)
 }
 
 (* The v3 "service" section: one two-round compile-service sweep of the
@@ -163,6 +185,41 @@ let top_hotspots ?(n = 3) (w : Common.workload) : hotspot list =
                 /. float_of_int total);
          })
 
+(** The v6 cache section: compile the workload under SYCL-MLIR and run
+    it once more with the direct-mapped cache model. Counters sum over
+    every launch; the reuse percentiles come from the merged per-launch
+    histograms. *)
+let cache_of_workload (w : Common.workload) : cache_metrics =
+  let m = w.Common.w_module () in
+  ignore
+    (Sycl_core.Driver.compile
+       (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir)
+       m);
+  let args, _ = w.Common.w_data () in
+  let r =
+    Host_interp.run ~cache_model:Cost.Direct_mapped ~module_op:m args
+  in
+  let sum f =
+    List.fold_left (fun acc (_, s) -> acc + f s) 0 r.Host_interp.per_kernel
+  in
+  let hits = sum (fun s -> s.Cost.cache_hits) in
+  let misses = sum (fun s -> s.Cost.cache_misses) in
+  let pct =
+    match Annotate.merged_cache r with
+    | Some tab ->
+      fun p -> Option.value ~default:0 (Sycl_sim.Cache.percentile tab p)
+    | None -> fun _ -> 0
+  in
+  {
+    ca_hits = hits;
+    ca_misses = misses;
+    ca_evictions = sum (fun s -> s.Cost.cache_evictions);
+    ca_hit_rate = Sycl_sim.Cache.hit_rate ~hits ~misses;
+    ca_reuse_p50 = pct 50.0;
+    ca_reuse_p90 = pct 90.0;
+    ca_reuse_p99 = pct 99.0;
+  }
+
 (* "pass/stat" -> (pass, stat); merged stats always carry the slash. *)
 let split_stat key =
   match String.index_opt key '/' with
@@ -224,6 +281,7 @@ let entry_of_comparison (c : Common.comparison) : entry =
     e_pass_stats = Pass.Stats.to_list c.Common.c_sycl_mlir.Common.m_stats;
     e_hotspots = top_hotspots w;
     e_compile = compile_of_comparison c;
+    e_cache = cache_of_workload w;
   }
 
 (* Sweep every workload module through the compile service twice: round
@@ -339,6 +397,19 @@ let compile_to_json (c : compile_metrics) : Json.t =
       ("rewrites", counts c.co_rewrites);
       ("measured", Json.Obj [ ("wall_us", Json.Int c.co_wall_us) ]) ]
 
+let cache_to_json (c : cache_metrics) : Json.t =
+  Json.Obj
+    [ ("model", Json.String "dm");
+      ("hits", Json.Int c.ca_hits);
+      ("misses", Json.Int c.ca_misses);
+      ("evictions", Json.Int c.ca_evictions);
+      ("hit_rate", Json.Float c.ca_hit_rate);
+      ( "reuse",
+        Json.Obj
+          [ ("p50", Json.Int c.ca_reuse_p50);
+            ("p90", Json.Int c.ca_reuse_p90);
+            ("p99", Json.Int c.ca_reuse_p99) ] ) ]
+
 let entry_to_json (e : entry) : Json.t =
   Json.Obj
     [ ("name", Json.String e.e_name);
@@ -350,7 +421,8 @@ let entry_to_json (e : entry) : Json.t =
       ( "pass_stats",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.e_pass_stats) );
       ("hotspots", Json.List (List.map hotspot_to_json e.e_hotspots));
-      ("compile", compile_to_json e.e_compile) ]
+      ("compile", compile_to_json e.e_compile);
+      ("cache", cache_to_json e.e_cache) ]
 
 (* The "measured" subobject isolates every machine-dependent field; CI's
    determinism comparison drops exactly that subtree and compares the
@@ -469,6 +541,19 @@ let entry_of_json (j : Json.t) : entry =
          co_ops_visited = counts "ops_visited";
          co_rewrites = counts "rewrites";
          co_wall_us = get_int measured "wall_us";
+       });
+    e_cache =
+      (let cj = req "cache" (Json.member "cache" j) in
+       let rj = req "reuse" (Json.member "reuse" cj) in
+       {
+         ca_hits = get_int cj "hits";
+         ca_misses = get_int cj "misses";
+         ca_evictions = get_int cj "evictions";
+         ca_hit_rate =
+           req "hit_rate" (Option.bind (Json.member "hit_rate" cj) Json.as_float);
+         ca_reuse_p50 = get_int rj "p50";
+         ca_reuse_p90 = get_int rj "p90";
+         ca_reuse_p99 = get_int rj "p99";
        });
   }
 
@@ -650,7 +735,24 @@ let compare_reports ?(tolerance = 0.05) ~(baseline : report)
             match List.assoc_opt pass c_new.co_rewrites with
             | Some new_v -> gate_speed (pass ^ " rewrites") old_v new_v
             | None -> ())
-          c_old.co_rewrites)
+          c_old.co_rewrites;
+        (* v6 cache gate: the simulated data-cache hit rate under the
+           direct-mapped model may not drop by more than the tolerance
+           fraction. Counters are deterministic, so there is no epsilon
+           beyond float-comparison slack. *)
+        let ca_old = old_e.e_cache and ca_new = new_e.e_cache in
+        if
+          ca_new.ca_hit_rate < (ca_old.ca_hit_rate *. (1.0 -. tolerance)) -. 1e-9
+        then
+          add
+            { i_kind = Hit_rate_regression; i_workload = old_e.e_name;
+              i_config = "sycl-mlir";
+              i_detail =
+                Printf.sprintf
+                  "data-cache hit rate regressed %.1f%% -> %.1f%% (dm model, \
+                   tolerance %.1f%%)"
+                  (100.0 *. ca_old.ca_hit_rate) (100.0 *. ca_new.ca_hit_rate)
+                  (100.0 *. tolerance) })
     baseline.r_entries;
   (* Report-level compile-service gates: the deterministic cost-unit
      percentiles obey the same growth budget as cycles; the hit rate may

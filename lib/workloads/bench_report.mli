@@ -40,6 +40,20 @@ type compile_metrics = {
   co_wall_us : int;  (** measured; excluded from determinism diffs *)
 }
 
+(** The v6 per-workload "cache" section: simulated data-cache counters
+    from an extra SYCL-MLIR run under the direct-mapped model, plus the
+    exact reuse-distance percentiles of that run. All fields are
+    deterministic; the hit rate is gated by {!compare_reports}. *)
+type cache_metrics = {
+  ca_hits : int;
+  ca_misses : int;  (** [ca_hits + ca_misses] = global transactions *)
+  ca_evictions : int;
+  ca_hit_rate : float;
+  ca_reuse_p50 : int;  (** LRU stack-distance percentiles, in cache lines *)
+  ca_reuse_p90 : int;
+  ca_reuse_p99 : int;
+}
+
 type entry = {
   e_name : string;
   e_category : string;
@@ -50,6 +64,7 @@ type entry = {
   e_hotspots : hotspot list;
       (** top-3 source lines by attributed device cycles *)
   e_compile : compile_metrics;  (** compiler-speed counters (v5) *)
+  e_cache : cache_metrics;  (** direct-mapped cache counters (v6) *)
 }
 
 (** The v3 report-level "service" section: counters and cost-unit
@@ -108,7 +123,9 @@ type issue_kind =
   | Missing_config
   | Compile_latency_regression
       (** a compile-service cost-unit percentile grew past tolerance *)
-  | Hit_rate_regression  (** the service cache hit rate dropped past tolerance *)
+  | Hit_rate_regression
+      (** a cache hit rate dropped past tolerance — the compile-service
+          cache (v3) or a workload's simulated data cache (v6) *)
   | Compiler_speed_regression
       (** a deterministic compiler-speed counter (ops visited, rewrites,
           parser ops/chars) grew past tolerance (v5) *)
@@ -125,8 +142,8 @@ val issue_to_string : issue -> string
 (** Issues in [current] relative to [baseline]; empty means the gate
     passes. [tolerance] is the permitted fractional growth for cycles,
     launch-latency percentiles and compile-service cost-unit
-    percentiles, and the permitted fractional drop in the service cache
-    hit rate (default 0.05). Measured service wall time / throughput is
-    never gated. *)
+    percentiles, and the permitted fractional drop in the service and
+    per-workload data-cache hit rates (default 0.05). Measured service
+    wall time / throughput is never gated. *)
 val compare_reports :
   ?tolerance:float -> baseline:report -> report -> issue list

@@ -130,6 +130,13 @@ let render_digest (r : Common.Host_interp.run_result)
       Buffer.add_string buf (Printf.sprintf "attribution %s:\n" name);
       Buffer.add_string buf (Sycl_sim.Attribution.render tab))
     r.H.per_kernel_attribution;
+  (* Cache counter tables (empty under the flat model, so the digest is
+     byte-identical to the pre-cache format there). *)
+  List.iter
+    (fun (name, tab) ->
+      Buffer.add_string buf (Printf.sprintf "cache %s:\n" name);
+      Buffer.add_string buf (Sycl_sim.Cache.render tab))
+    r.H.per_kernel_cache;
   List.iter
     (fun (e : P.event) ->
       Buffer.add_string buf
@@ -372,6 +379,70 @@ let check_service_cache (w : Common.workload) :
           (List.filteri (fun i _ -> i >= 6) responses)
       then fail "second-round response not served from the cache" None
       else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (i): cache-model coherence                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Full run digest under an explicit cache model, with per-launch cache
+   conservation checked on the way ([hits + misses] must equal the
+   launch's global transactions exactly, and the per-op table must sum
+   to the launch counters — {!Sycl_sim.Cache.conserves}). *)
+let cache_digest (w : Common.workload) ?cache_model ~(domains : int) () :
+    string =
+  let module H = Common.Host_interp in
+  let m = w.Common.w_module () in
+  ignore (Pass.run_pipeline ~verify_each:false (full_pipeline ()) m);
+  let args, validate = w.Common.w_data () in
+  let r = H.run ~sim_domains:domains ?cache_model ~module_op:m args in
+  List.iter2
+    (fun (kname, stats) (_, tab) ->
+      match Sycl_sim.Cache.conserves tab stats with
+      | [] -> ()
+      | v :: _ ->
+        failwith (Printf.sprintf "%s: cache conservation violated: %s" kname v))
+    (if r.H.per_kernel_cache = [] then [] else r.H.per_kernel)
+    r.H.per_kernel_cache;
+  render_digest r args ~valid:(validate ())
+
+(** Cache-model coherence: under each non-flat model the cache counters
+    conserve exactly on every launch and the full digest (launch stats,
+    per-op cache tables, reuse histograms, metrics, buffers) is
+    byte-identical between the sequential and the 4-domain backend; an
+    explicit [--cache-model flat] is byte-identical to the default
+    (no-cache) run. *)
+let check_cache_coherence ?(domains = 4) (w : Common.workload) :
+    (unit, Difftest.failure) result =
+  let name = w.Common.w_name in
+  let fail detail =
+    Error
+      { Difftest.f_oracle = "cache-coherence";
+        f_detail = name ^ ": " ^ detail; f_ir = None }
+  in
+  match
+    let per_model model =
+      ( cache_digest w ~cache_model:model ~domains:1 (),
+        cache_digest w ~cache_model:model ~domains () )
+    in
+    ( per_model Common.Cost.Direct_mapped,
+      per_model Common.Cost.Set_associative,
+      cache_digest w ~cache_model:Common.Cost.Flat ~domains:1 (),
+      cache_digest w ~domains:1 () )
+  with
+  | exception e ->
+    fail (Printf.sprintf "execution raised %s" (Printexc.to_string e))
+  | (dm_seq, dm_par), (as_seq, as_par), flat, default -> (
+    let pair what reference subject =
+      Difftest.check_deterministic ~oracle:"cache-coherence"
+        ~what:(name ^ " " ^ what) ~reference ~subject ()
+    in
+    match pair "direct-mapped digest (1 vs N domains)" dm_seq dm_par with
+    | Error _ as e -> e
+    | Ok () -> (
+      match pair "set-associative digest (1 vs N domains)" as_seq as_par with
+      | Error _ as e -> e
+      | Ok () ->
+        pair "flat digest (explicit flat vs default)" default flat))
 
 (* ------------------------------------------------------------------ *)
 (* Oracle (h): worklist / legacy rewrite-driver equivalence            *)

@@ -15,13 +15,13 @@ let matmul_text () =
    compile it with the default SYCL-MLIR pipeline and run it with
    synthesized size-16 arguments — exactly what
    `sycl-bench --file examples/matmul.mlir` does. *)
-let run_matmul ?sim_domains () =
+let run_matmul ?sim_domains ?cache_model () =
   Helpers.init ();
   let m = Parser.parse_module ~file:"matmul.mlir" (matmul_text ()) in
   ignore
     (Sycl_core.Driver.compile (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir) m);
   let args = Annotate.synth_args m ~size:16 in
-  (m, H.run ?sim_domains ~module_op:m args)
+  (m, H.run ?sim_domains ?cache_model ~module_op:m args)
 
 let merged r = Annotate.merged_attribution r
 
@@ -49,7 +49,9 @@ let tests_list =
         if f < 0.95 then
           Alcotest.failf "known-location fraction %.3f < 0.95" f);
     Alcotest.test_case "matmul: golden hotspot table" `Quick (fun () ->
-        let _, r = run_matmul () in
+        (* The golden table is generated under the direct-mapped cache
+           model, so it pins the gated hit/miss/hitrate columns too. *)
+        let _, r = run_matmul ~cache_model:Sycl_sim.Cost.Direct_mapped () in
         let golden =
           In_channel.with_open_text "../examples/matmul.hotspots.txt"
             In_channel.input_all

@@ -33,7 +33,19 @@ let compile ?(ops_visited = 400) ?(rewrites = 20) ?(parse_ops = 120) () :
     co_wall_us = 777;
   }
 
-let entry ?(name = "w") ?(configs = []) ?(compile = compile ()) () : BR.entry =
+let cache ?(hit_rate = 0.75) () : BR.cache_metrics =
+  {
+    BR.ca_hits = 48;
+    ca_misses = 16;
+    ca_evictions = 4;
+    ca_hit_rate = hit_rate;
+    ca_reuse_p50 = 3;
+    ca_reuse_p90 = 8;
+    ca_reuse_p99 = 12;
+  }
+
+let entry ?(name = "w") ?(configs = []) ?(compile = compile ())
+    ?(cache = cache ()) () : BR.entry =
   {
     BR.e_name = name;
     e_category = "single-kernel";
@@ -48,6 +60,7 @@ let entry ?(name = "w") ?(configs = []) ?(compile = compile ()) () : BR.entry =
       [ { BR.h_line = "w.sycl.mlir:17"; h_cycles = 400; h_share = 0.8 };
         { BR.h_line = "w.sycl.mlir:12"; h_cycles = 100; h_share = 0.2 } ];
     e_compile = compile;
+    e_cache = cache;
   }
 
 let service ?(hit_rate = 0.5) ?(cost_p99 = 4000) () : BR.service_metrics =
@@ -208,6 +221,27 @@ let tests_list =
         Alcotest.(check bool) "hit-rate issue" true
           (List.mem BR.Hit_rate_regression
              (kinds (BR.compare_reports ~baseline:base worse))));
+    Alcotest.test_case "workload data-cache hit-rate regression fails (v6)"
+      `Quick (fun () ->
+        let base = report [ entry ~name:"w" () ] in
+        (* Baseline hit rate is 0.75; 5% of that is 0.0375, so 0.7125
+           passes and anything lower flags against the workload. *)
+        let at hr =
+          report ~label:"new"
+            [ entry ~name:"w" ~cache:(cache ~hit_rate:hr ()) () ]
+        in
+        Alcotest.(check int) "at budget passes" 0
+          (List.length (BR.compare_reports ~baseline:base (at 0.7125)));
+        (match BR.compare_reports ~baseline:base (at 0.6) with
+        | [ i ] ->
+          Alcotest.(check bool) "kind" true
+            (i.BR.i_kind = BR.Hit_rate_regression);
+          Alcotest.(check string) "workload" "w" i.BR.i_workload
+        | issues ->
+          Alcotest.failf "expected 1 issue, got %d" (List.length issues));
+        Alcotest.(check int) "wider tolerance admits it" 0
+          (List.length
+             (BR.compare_reports ~tolerance:0.25 ~baseline:base (at 0.6))));
     Alcotest.test_case "compiler-speed regression fails the gate (v5)" `Quick
       (fun () ->
         let base = report [ entry ~name:"w" () ] in
@@ -272,6 +306,16 @@ let tests_list =
                List.mem_assoc "sycl-mlir" e.BR.e_configs
                && List.mem_assoc "dpcpp" e.BR.e_configs)
              r.BR.r_entries);
+        (* The v6 cache section conserves against the sycl-mlir config's
+           transaction count: the cache run replays the same addresses. *)
+        List.iter
+          (fun (e : BR.entry) ->
+            let m = List.assoc "sycl-mlir" e.BR.e_configs in
+            Alcotest.(check int)
+              ("cache conservation for " ^ e.BR.e_name)
+              m.BR.cm_global_transactions
+              (e.BR.e_cache.BR.ca_hits + e.BR.e_cache.BR.ca_misses))
+          r.BR.r_entries;
         (* One workload swept twice: second round is all hits. *)
         let s = r.BR.r_service in
         Alcotest.(check int) "requests" 2 s.BR.sv_requests;

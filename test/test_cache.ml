@@ -1,0 +1,253 @@
+(* The cache-hierarchy performance model: direct-mapped conflict
+   behavior, set-associative LRU order, exact conservation against the
+   launch counters on barrier and stencil workloads, domain-count
+   independence of every cache surface, flat-model byte compatibility,
+   and the reuse-analysis cross-check (static prediction vs measured hit
+   rate). *)
+
+open Mlir
+module Cache = Sycl_sim.Cache
+module Cost = Sycl_sim.Cost
+module H = Sycl_runtime.Host_interp
+module AP = Sycl_core.Analysis_printer
+open Sycl_workloads
+
+let matmul_text () =
+  In_channel.with_open_text "../examples/matmul.mlir" In_channel.input_all
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* Parse + compile the matmul example exactly like `sycl-bench --file`,
+   then run it under [cache_model]. *)
+let run_matmul ?sim_domains ?cache_model () =
+  Helpers.init ();
+  let m = Parser.parse_module ~file:"matmul.mlir" (matmul_text ()) in
+  ignore
+    (Sycl_core.Driver.compile
+       (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir)
+       m);
+  let args = Annotate.synth_args m ~size:16 in
+  (m, H.run ?sim_domains ?cache_model ~module_op:m args)
+
+let run_workload ?cache_model (w : Common.workload) =
+  Helpers.init ();
+  let m = w.Common.w_module () in
+  ignore
+    (Sycl_core.Driver.compile
+       (Sycl_core.Driver.config Sycl_core.Driver.Sycl_mlir)
+       m);
+  let args, _ = w.Common.w_data () in
+  H.run ?cache_model ~module_op:m args
+
+let state_exn model =
+  match Cache.create Cost.default model with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a cache state for a non-flat model"
+
+let check_conserved name (r : H.run_result) =
+  (match Annotate.check_cache_conservation r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" name msg);
+  (* And hits + misses decompose the transaction count exactly. *)
+  List.iter2
+    (fun (_, (s : Cost.launch_stats)) (_, _tab) ->
+      Alcotest.(check int)
+        (name ^ ": hits + misses = global transactions")
+        s.Cost.global_transactions
+        (s.Cost.cache_hits + s.Cost.cache_misses))
+    r.H.per_kernel r.H.per_kernel_cache
+
+let tests_list =
+  [
+    Alcotest.test_case "direct-mapped: conflicting lines evict each other"
+      `Quick (fun () ->
+        (* Cost.default has 64 lines; direct-mapped means line l lives in
+           set l mod 64, so lines 0 and 64 of one allocation conflict. *)
+        let s = state_exn Cost.Direct_mapped in
+        let a = Cache.access s ~aid:0 ~line:0 in
+        Alcotest.(check bool) "cold miss" false a.Cache.o_hit;
+        Alcotest.(check bool) "no eviction on empty set" false
+          a.Cache.o_evicted;
+        let b = Cache.access s ~aid:0 ~line:0 in
+        Alcotest.(check bool) "warm hit" true b.Cache.o_hit;
+        let c = Cache.access s ~aid:0 ~line:64 in
+        Alcotest.(check bool) "conflict misses" false c.Cache.o_hit;
+        Alcotest.(check bool) "conflict evicts" true c.Cache.o_evicted;
+        let d = Cache.access s ~aid:0 ~line:0 in
+        Alcotest.(check bool) "victim is gone" false d.Cache.o_hit;
+        (* Tags carry the allocation id: same line of another allocation
+           is a different block (and another conflict). *)
+        let e = Cache.access s ~aid:1 ~line:0 in
+        Alcotest.(check bool) "other allocation misses" false e.Cache.o_hit);
+    Alcotest.test_case "set-associative: exact LRU eviction order" `Quick
+      (fun () ->
+        (* 64 lines / 4 ways = 16 sets; lines 0,16,32,48,64 of one
+           allocation all index set 0. *)
+        let s = state_exn Cost.Set_associative in
+        let probe line = Cache.access s ~aid:0 ~line in
+        List.iter
+          (fun line ->
+            Alcotest.(check bool)
+              (Printf.sprintf "cold miss on %d" line)
+              false (probe line).Cache.o_hit)
+          [ 0; 16; 32; 48 ];
+        (* Touch 0 so 16 becomes least-recently used. *)
+        Alcotest.(check bool) "0 hits" true (probe 0).Cache.o_hit;
+        let f = probe 64 in
+        Alcotest.(check bool) "64 misses" false f.Cache.o_hit;
+        Alcotest.(check bool) "64 evicts the LRU way" true f.Cache.o_evicted;
+        Alcotest.(check bool) "0 survived (was refreshed)" true
+          (probe 0).Cache.o_hit;
+        Alcotest.(check bool) "16 was the victim" false (probe 16).Cache.o_hit;
+        Alcotest.(check bool) "48 still resident" true (probe 48).Cache.o_hit);
+    Alcotest.test_case
+      "barrier (gemm) and stencil (jacobi) runs conserve exactly" `Quick
+      (fun () ->
+        Helpers.init ();
+        List.iter
+          (fun model ->
+            let gemm =
+              run_workload ~cache_model:model
+                (Annotate.located_workload (Polybench.gemm ~n:16))
+            in
+            check_conserved "gemm" gemm;
+            Alcotest.(check bool) "gemm hit barriers" true
+              (List.exists
+                 (fun (_, s) -> s.Cost.barriers > 0)
+                 gemm.H.per_kernel);
+            check_conserved "jacobi"
+              (run_workload ~cache_model:model
+                 (Stencil.jacobi ~n:64 ~iters:2)))
+          [ Cost.Direct_mapped; Cost.Set_associative ]);
+    Alcotest.test_case "matmul hotspot table gains gated hit/miss columns"
+      `Quick (fun () ->
+        let _, r = run_matmul ~cache_model:Cost.Direct_mapped () in
+        let table =
+          Sycl_sim.Attribution.hotspots_to_string
+            (Annotate.merged_attribution r)
+        in
+        let golden =
+          In_channel.with_open_text "../examples/matmul.hotspots.txt"
+            In_channel.input_all
+        in
+        Alcotest.(check string) "golden dm hotspot table" golden table;
+        List.iter
+          (fun col ->
+            Alcotest.(check bool) (col ^ " column present") true
+              (contains ~needle:col table))
+          [ "hits"; "misses"; "hitrate" ]);
+    Alcotest.test_case "cache surfaces are byte-identical across domains"
+      `Quick (fun () ->
+        List.iter
+          (fun model ->
+            let _, r1 = run_matmul ~sim_domains:1 ~cache_model:model () in
+            let _, r4 = run_matmul ~sim_domains:4 ~cache_model:model () in
+            let render r =
+              String.concat ""
+                (List.map
+                   (fun (name, tab) -> name ^ ":\n" ^ Cache.render tab)
+                   r.H.per_kernel_cache)
+            in
+            let json r =
+              String.concat ""
+                (List.map
+                   (fun (_, tab) -> Json.to_string (Cache.to_json tab))
+                   r.H.per_kernel_cache)
+            in
+            Alcotest.(check string) "render identical" (render r1) (render r4);
+            Alcotest.(check string) "JSON identical" (json r1) (json r4))
+          [ Cost.Direct_mapped; Cost.Set_associative ]);
+    Alcotest.test_case "flat model is a byte-compatible no-op" `Quick
+      (fun () ->
+        let _, r = run_matmul () in
+        Alcotest.(check int) "no cache tables" 0
+          (List.length r.H.per_kernel_cache);
+        List.iter
+          (fun (_, (s : Cost.launch_stats)) ->
+            Alcotest.(check int) "no hits" 0 s.Cost.cache_hits;
+            Alcotest.(check int) "no misses" 0 s.Cost.cache_misses;
+            Alcotest.(check int) "no evictions" 0 s.Cost.cache_evictions;
+            Alcotest.(check int) "no wait cycles" 0 s.Cost.cache_mem_wait_cycles)
+          r.H.per_kernel;
+        let table =
+          Sycl_sim.Attribution.hotspots_to_string
+            (Annotate.merged_attribution r)
+        in
+        Alcotest.(check bool) "no hitrate column under flat" false
+          (contains ~needle:"hitrate" table);
+        (* Explicit flat behaves exactly like the default. *)
+        let _, r_flat = run_matmul ~cache_model:Cost.Flat () in
+        Alcotest.(check string) "explicit flat table identical" table
+          (Sycl_sim.Attribution.hotspots_to_string
+             (Annotate.merged_attribution r_flat)));
+    Alcotest.test_case
+      "predicted in-capacity reuse implies >= 90%% measured hit rate" `Quick
+      (fun () ->
+        (* Static side: the reuse printer annotates constant-stride
+           accesses of the matmul source with their predicted reuse
+           distance; loop accesses it leaves unannotated are predicted
+           streaming. Dynamic side: compile and run the same source
+           under the 4-way LRU model (direct-mapped would conflict-miss,
+           which is exactly why the cross-check runs under assoc). The
+           optimized pipeline fuses source locations, so a runtime row
+           inherits a prediction when its location names a predicted
+           source line and no streaming one. *)
+        Helpers.init ();
+        let src = Parser.parse_module ~file:"matmul.mlir" (matmul_text ()) in
+        AP.set_sink ignore;
+        ignore (Pass.run_pipeline [ AP.print_reuse ] src);
+        AP.set_sink prerr_string;
+        let capacity = Cost.default.Cost.cache_lines in
+        let predicted = ref [] and streaming = ref [] in
+        let loops =
+          Core.collect src ~p:(fun o ->
+              Dialects.Scf.is_for o || Dialects.Affine_ops.is_for o)
+        in
+        List.iter
+          (fun loop ->
+            Core.walk loop ~f:(fun op ->
+                if op.Core.name = "memref.load" || op.Core.name = "memref.store"
+                then
+                  let loc = Loc.to_string op.Core.loc in
+                  match Core.attr op AP.reuse_dist_attr with
+                  | Some (Attr.Int d) when d <= capacity ->
+                    predicted := loc :: !predicted
+                  | _ -> streaming := loc :: !streaming))
+          loops;
+        Alcotest.(check bool) "some accesses predicted in-capacity" true
+          (!predicted <> []);
+        Alcotest.(check bool) "some accesses predicted streaming" true
+          (!streaming <> []);
+        let _, r = run_matmul ~cache_model:Cost.Set_associative () in
+        let tab =
+          match Annotate.merged_cache r with
+          | Some t -> t
+          | None -> Alcotest.fail "no cache table under assoc"
+        in
+        let hits = ref 0 and misses = ref 0 and matched = ref 0 in
+        List.iter
+          (fun ((_, loc), (row : Cache.row)) ->
+            let names l = contains ~needle:l loc in
+            if List.exists names !predicted && not (List.exists names !streaming)
+            then begin
+              incr matched;
+              hits := !hits + row.Cache.r_hits;
+              misses := !misses + row.Cache.r_misses
+            end)
+          (Cache.rows tab);
+        Alcotest.(check bool) "predicted rows observed dynamically" true
+          (!matched > 0);
+        let rate = Cache.hit_rate ~hits:!hits ~misses:!misses in
+        if rate < 0.9 then
+          Alcotest.failf
+            "predicted in-capacity accesses measured only %.1f%% hits \
+             (%d/%d over %d rows)"
+            (100.0 *. rate) !hits (!hits + !misses) !matched);
+  ]
+
+let tests = ("cache", tests_list)
